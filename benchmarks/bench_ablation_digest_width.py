@@ -1,0 +1,46 @@
+"""Ablation — digest width vs hardware cost (paper §XI discussion).
+
+Paper anchors: relative to the 32-bit digest, a 256-bit digest needs
++560% hash distribution units and +100% pipeline stages; the extra
+stages force packet recirculations at 100s of ns each.  The security
+side of the trade: expected brute-force trials double per digest bit.
+"""
+
+from repro.analysis import format_table
+from repro.core.digestwidth import (
+    brute_force_trials,
+    digest_width_cost,
+    width_sweep,
+)
+
+
+def test_digest_width_ablation(benchmark, report):
+    sweep = benchmark.pedantic(width_sweep, rounds=1, iterations=1)
+    base = sweep[0]
+    rows = []
+    for cost in sweep:
+        rows.append([
+            f"{cost.width_bits}-bit",
+            cost.hash_units,
+            f"+{cost.hash_unit_increase_pct(base):.0f}%",
+            cost.stages,
+            f"+{cost.stage_increase_pct(base):.0f}%",
+            cost.recirculations,
+            f"{cost.extra_latency_ns:.0f}",
+            f"2^{cost.width_bits - 1}",
+        ])
+    report(format_table(
+        ["digest", "hash units", "vs 32-bit", "stages", "vs 32-bit",
+         "recirculations", "extra latency (ns)", "brute-force trials"],
+        rows, title="Ablation: digest width vs hardware cost (§XI)"))
+
+    cost256 = digest_width_cost(256)
+    # The paper's two anchors.
+    assert 540 <= cost256.hash_unit_increase_pct(base) <= 580  # paper: 560%
+    assert cost256.stage_increase_pct(base) == 100.0           # paper: 100%
+    assert cost256.recirculations >= 1
+    assert cost256.extra_latency_ns >= 300  # "100s of ns per recirculation"
+    assert brute_force_trials(256) == 1 << 255
+    # Monotone trade-off.
+    units = [c.hash_units for c in sweep]
+    assert units == sorted(units)

@@ -1,0 +1,39 @@
+"""Fig 20 — key management protocol round-trip times.
+
+Paper: 1-2 ms for key initialization, under 1 ms for updates; port-key
+init is slowest (its ADHKD legs are redirected through the controller);
+port-key update beats local-key update despite exchanging more messages.
+"""
+
+from repro.analysis import format_table
+from repro.experiments.fig20_kmp import OPS, run_kmp_rtt
+
+PAPER_NOTES = {
+    "local_init": "1-2 ms (EAK + ADHKD)",
+    "port_init": "longest (redirected via C)",
+    "local_update": "< 1 ms",
+    "port_update": "< local update",
+}
+
+
+def test_fig20_kmp_rtt(benchmark, report):
+    result = benchmark.pedantic(run_kmp_rtt, kwargs={"repeats": 20},
+                                rounds=1, iterations=1)
+    rows = []
+    for op in OPS:
+        messages, size = result.footprint[op]
+        rows.append([
+            op,
+            f"{result.mean_ms(op):.3f}",
+            messages,
+            size,
+            PAPER_NOTES[op],
+        ])
+    report(format_table(
+        ["operation", "RTT (ms)", "messages", "bytes", "paper"],
+        rows, title="Fig 20: key management RTT (+ Table III footprints)"))
+
+    assert 1.0 <= result.mean_ms("local_init") <= 2.0
+    assert result.mean_ms("port_init") > result.mean_ms("local_init")
+    assert result.mean_ms("local_update") < 1.0
+    assert result.mean_ms("port_update") < result.mean_ms("local_update")

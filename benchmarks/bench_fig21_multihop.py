@@ -1,0 +1,32 @@
+"""Fig 21 — in-network control message processing time vs hop count.
+
+Paper anchors: P4Auth inflates HULA probe traversal time by 0.95% at 2
+hops and 5.9% at 10 hops, growing roughly linearly in between.
+"""
+
+from repro.analysis import format_table
+from repro.experiments.fig21_multihop import overhead_curve
+
+
+def test_fig21_multihop_overhead(benchmark, report):
+    rows_data = benchmark.pedantic(
+        overhead_curve, kwargs={"num_probes": 30}, rounds=1, iterations=1)
+    paper = {2: "0.95%", 10: "5.9%"}
+    rows = []
+    for row in rows_data:
+        rows.append([
+            row["hops"],
+            f"{row['base_us']:.1f}",
+            f"{row['p4auth_us']:.1f}",
+            f"{row['overhead_pct']:.2f}%",
+            paper.get(row["hops"], ""),
+        ])
+    report(format_table(
+        ["hops", "base (us)", "with P4Auth (us)", "overhead", "paper"],
+        rows, title="Fig 21: probe traversal time vs hop count"))
+
+    by_hops = {row["hops"]: row["overhead_pct"] for row in rows_data}
+    assert 0.5 < by_hops[2] < 1.5       # paper: 0.95%
+    assert 5.0 < by_hops[10] < 7.0      # paper: 5.9%
+    overheads = [row["overhead_pct"] for row in rows_data]
+    assert overheads == sorted(overheads)  # monotonic growth

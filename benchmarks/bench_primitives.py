@@ -1,0 +1,58 @@
+"""Microbenchmarks of the data-plane crypto primitives.
+
+Not a paper table — supporting measurements for the §XI "digest size and
+computation overhead" discussion: per-digest cost of the two target
+algorithms (HalfSipHash on BMv2, CRC32 on Tofino), the KDF, and the
+modified DH operations.
+"""
+
+from repro.core.digest import DigestEngine
+from repro.core.messages import build_reg_write_request
+from repro.crypto.crc import Crc32
+from repro.crypto.halfsiphash import HalfSipHash
+from repro.crypto.kdf import Kdf
+from repro.crypto.modified_dh import DhParameters, dh_public, dh_shared
+
+KEY = 0x0123456789ABCDEF
+MESSAGE = bytes(range(64))
+
+
+def test_halfsiphash_digest(benchmark):
+    engine = HalfSipHash()
+    tag = benchmark(engine.digest, KEY, MESSAGE)
+    assert 0 <= tag < (1 << 32)
+
+
+def test_crc32_keyed_digest(benchmark):
+    engine = Crc32()
+    tag = benchmark(engine.compute_keyed, KEY, MESSAGE)
+    assert 0 <= tag < (1 << 32)
+
+
+def test_kdf_derivation(benchmark):
+    engine = Kdf()
+    key = benchmark(engine.derive, KEY, 0xABCDEF)
+    assert 0 <= key < (1 << 64)
+
+
+def test_modified_dh_roundtrip(benchmark):
+    params = DhParameters()
+
+    def exchange():
+        pk1 = dh_public(params, 0x1111111111111111)
+        pk2 = dh_public(params, 0x2222222222222222)
+        return dh_shared(params, 0x1111111111111111, pk2), pk1
+
+    secret, _pk = benchmark(exchange)
+    assert 0 <= secret < (1 << 64)
+
+
+def test_full_message_sign_verify(benchmark):
+    engine = DigestEngine()
+    message = build_reg_write_request(1, 0, 0xBEEF, 1)
+
+    def sign_and_verify():
+        engine.sign(KEY, message)
+        return engine.verify(KEY, message)
+
+    assert benchmark(sign_and_verify)

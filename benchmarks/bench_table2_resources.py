@@ -1,0 +1,49 @@
+"""Table II — hardware resource overhead.
+
+Paper (Tofino, baseline L3 forwarding vs with P4Auth):
+
+             TCAM   SRAM   Hash Units   PHV
+Baseline     8.3%   2.5%   1.4%         11%
+With P4Auth  8.3%   3.6%   51.4%        23.1%
+"""
+
+from repro.analysis import format_table
+from repro.core.program import baseline_program_spec, p4auth_program_spec
+from repro.dataplane.resources import ResourceModel
+
+PAPER = {
+    "Baseline": (8.3, 2.5, 1.4, 11.0),
+    "With P4Auth": (8.3, 3.6, 51.4, 23.1),
+}
+
+
+def compile_both():
+    model = ResourceModel()
+    return {
+        "Baseline": model.report(baseline_program_spec()),
+        "With P4Auth": model.report(p4auth_program_spec()),
+    }
+
+
+def test_table2_resource_overhead(benchmark, report):
+    reports = benchmark.pedantic(compile_both, rounds=1, iterations=1)
+    rows = []
+    for name, resource_report in reports.items():
+        paper = PAPER[name]
+        rows.append([
+            name,
+            f"{resource_report.tcam_pct}% (paper {paper[0]}%)",
+            f"{resource_report.sram_pct}% (paper {paper[1]}%)",
+            f"{resource_report.hash_pct}% (paper {paper[2]}%)",
+            f"{resource_report.phv_pct}% (paper {paper[3]}%)",
+        ])
+    report(format_table(
+        ["program", "TCAM", "SRAM", "Hash Units", "PHV"],
+        rows, title="Table II: hardware resource overhead"))
+
+    baseline = reports["Baseline"]
+    p4auth = reports["With P4Auth"]
+    assert baseline.as_row() == {"TCAM": 8.3, "SRAM": 2.5,
+                                 "Hash Units": 1.4, "PHV": 11.1}
+    assert p4auth.as_row() == {"TCAM": 8.3, "SRAM": 3.6,
+                               "Hash Units": 51.4, "PHV": 23.1}

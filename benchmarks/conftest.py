@@ -1,0 +1,16 @@
+"""Benchmark-suite helpers.
+
+``report`` prints paper-style result tables with capture disabled, so
+``pytest benchmarks/ --benchmark-only`` always shows the reproduced
+rows/series next to the timing stats (even under fd-level capture).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text, flush=True)
+    return _report

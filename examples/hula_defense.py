@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""HULA under attack (the paper's Fig 3 / Fig 17 scenario).
+
+Runs the five-switch topology three times — without an adversary, with a
+MitM rewriting probe utilization on the S1-S4 link, and with P4Auth
+protecting the probes — and prints the traffic distribution across S1's
+three uplinks in each case.
+
+Run:  python examples/hula_defense.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments.fig17_hula import MODES, run_hula
+
+
+def main() -> None:
+    print("Running HULA scenarios (a few seconds of simulated traffic "
+          "each)...\n")
+    rows = []
+    for mode in MODES:
+        result = run_hula(mode, duration_s=4.0)
+        rows.append([
+            mode,
+            f"{result.shares['s2'] * 100:5.1f}%",
+            f"{result.shares['s3'] * 100:5.1f}%",
+            f"{result.shares['s4'] * 100:5.1f}%",
+            result.probes_tampered,
+            result.alerts,
+        ])
+    print(format_table(
+        ["mode", "via S2", "via S3", "via S4", "tampered probes", "alerts"],
+        rows, title="Traffic leaving S1, per uplink (post-warmup)"))
+    print(
+        "\nWithout an adversary HULA spreads load roughly equally; the\n"
+        "MitM drags >70% of traffic onto the compromised S1-S4 link; with\n"
+        "P4Auth the tampered probes fail digest verification at S1, the\n"
+        "controller is alerted, and the compromised link carries nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

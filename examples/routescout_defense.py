@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""RouteScout under attack (the paper's Fig 2 / Fig 16 scenario).
+
+Replays a synthetic CAIDA-like trace into a RouteScout edge switch while
+a compromised switch OS inflates path-1's reported latency, and shows how
+the controller's split decision is manipulated — and how P4Auth stops it.
+
+Run:  python examples/routescout_defense.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments.fig16_routescout import MODES, run_routescout
+
+
+def main() -> None:
+    print("Replaying a 30 s synthetic trace per scenario...\n")
+    rows = []
+    histories = {}
+    for mode in MODES:
+        result = run_routescout(mode, duration_s=30.0, attack_start_s=8.0)
+        histories[mode] = result.split_history
+        rows.append([
+            mode,
+            f"{result.share_path1 * 100:5.1f}%",
+            f"{result.share_path2 * 100:5.1f}%",
+            result.epochs_skipped,
+            result.tamper_events,
+        ])
+    print(format_table(
+        ["mode", "path 1 share", "path 2 share", "epochs skipped",
+         "tamper events"],
+        rows, title="Traffic split during the attack window"))
+    print("\nSplit-ratio timeline (percent of flows on path 1, "
+          "one value per epoch):")
+    for mode in MODES:
+        trail = " ".join(f"{s:3d}" for s in histories[mode][:20])
+        print(f"  {mode:9s} {trail}")
+    print(
+        "\nThe adversary inflates path-1 latency in read responses from\n"
+        "epoch 8 on: the unprotected controller dives to ~23% on path 1.\n"
+        "With P4Auth the tampered responses are rejected and the split\n"
+        "holds at its converged value while alerts fire."
+    )
+
+
+if __name__ == "__main__":
+    main()

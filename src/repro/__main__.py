@@ -1,0 +1,156 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Each subcommand runs one paper experiment and prints its table — the
+same drivers the benchmark suite uses, without pytest in the way.
+
+    python -m repro fig16            # RouteScout defense
+    python -m repro fig17            # HULA defense
+    python -m repro fig20            # KMP RTTs
+    python -m repro fig21            # multihop probe overhead
+    python -m repro table1           # attack-impact matrix
+    python -m repro table2           # resource overhead
+    python -m repro table3           # KMP scalability (live 25-switch net)
+    python -m repro aggregation      # Attack 2 on in-network aggregation
+    python -m repro all              # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_table
+
+
+def cmd_fig16(args) -> None:
+    from repro.experiments.fig16_routescout import MODES, run_routescout
+    rows = []
+    for mode in MODES:
+        result = run_routescout(mode, duration_s=args.duration,
+                                attack_start_s=args.duration * 0.25)
+        rows.append([mode, f"{result.share_path1 * 100:.1f}%",
+                     f"{result.share_path2 * 100:.1f}%",
+                     result.epochs_skipped, result.tamper_events])
+    print(format_table(
+        ["mode", "path1", "path2", "epochs skipped", "tamper events"],
+        rows, title="Fig 16: RouteScout traffic distribution"))
+
+
+def cmd_fig17(args) -> None:
+    from repro.experiments.fig17_hula import MODES, run_hula
+    rows = []
+    for mode in MODES:
+        result = run_hula(mode, duration_s=min(args.duration, 10.0))
+        rows.append([mode,
+                     f"{result.shares['s2'] * 100:.1f}%",
+                     f"{result.shares['s3'] * 100:.1f}%",
+                     f"{result.shares['s4'] * 100:.1f}%",
+                     result.alerts])
+    print(format_table(["mode", "via S2", "via S3", "via S4", "alerts"],
+                       rows, title="Fig 17: HULA traffic distribution"))
+
+
+def cmd_fig20(args) -> None:
+    from repro.experiments.fig20_kmp import OPS, run_kmp_rtt
+    result = run_kmp_rtt(repeats=20)
+    rows = [[op, f"{result.mean_ms(op):.3f}",
+             result.footprint[op][0], result.footprint[op][1]]
+            for op in OPS]
+    print(format_table(["operation", "RTT (ms)", "messages", "bytes"],
+                       rows, title="Fig 20: key management RTT"))
+
+
+def cmd_fig21(args) -> None:
+    from repro.experiments.fig21_multihop import overhead_curve
+    rows = [[r["hops"], f"{r['base_us']:.1f}", f"{r['p4auth_us']:.1f}",
+             f"{r['overhead_pct']:.2f}%"]
+            for r in overhead_curve(num_probes=30)]
+    print(format_table(["hops", "base (us)", "P4Auth (us)", "overhead"],
+                       rows, title="Fig 21: probe traversal vs hops"))
+
+
+def cmd_table1(args) -> None:
+    from repro.experiments.table1_impact import run_table1
+    result = run_table1()
+    print(format_table(
+        ["system", "metric", "baseline", "attack", "attack+P4Auth",
+         "poisoned", "detected"],
+        result.rows(), title="Table I: attack impact"))
+
+
+def cmd_table2(args) -> None:
+    from repro.core.program import baseline_program_spec, p4auth_program_spec
+    from repro.dataplane.resources import ResourceModel
+    model = ResourceModel()
+    rows = []
+    for name, spec in (("Baseline", baseline_program_spec()),
+                       ("With P4Auth", p4auth_program_spec())):
+        report = model.report(spec)
+        rows.append([name, f"{report.tcam_pct}%", f"{report.sram_pct}%",
+                     f"{report.hash_pct}%", f"{report.phv_pct}%"])
+    print(format_table(["program", "TCAM", "SRAM", "Hash Units", "PHV"],
+                       rows, title="Table II: resource overhead"))
+
+
+def cmd_table3(args) -> None:
+    from repro.experiments.table3_scalability import run_table3
+    result = run_table3()
+    rows = [
+        ["init", result.init_messages, result.formula_init_messages,
+         result.init_bytes, result.formula_init_bytes],
+        ["update", result.update_messages, result.formula_update_messages,
+         result.update_bytes, result.formula_update_bytes],
+    ]
+    print(format_table(
+        ["op", "measured msgs", "formula msgs", "measured B", "formula B"],
+        rows, title=f"Table III (live m={result.m_switches}, "
+                    f"n={result.n_links})"))
+
+
+def cmd_aggregation(args) -> None:
+    from repro.experiments.attack2_aggregation import MODES, run_aggregation
+    rows = []
+    for mode in MODES:
+        result = run_aggregation(mode, chunks=30)
+        rows.append([mode, f"{result.correct_chunks}/{result.chunks}",
+                     f"{result.jct_rounds:.2f}", result.alerts])
+    print(format_table(
+        ["mode", "correct aggregates", "JCT (rounds)", "alerts"],
+        rows, title="Attack 2: in-network aggregation"))
+
+
+COMMANDS = {
+    "fig16": cmd_fig16,
+    "fig17": cmd_fig17,
+    "fig20": cmd_fig20,
+    "fig21": cmd_fig21,
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "aggregation": cmd_aggregation,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run P4Auth reproduction experiments.")
+    parser.add_argument("experiment",
+                        choices=sorted(COMMANDS) + ["all"],
+                        help="which paper experiment to run")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="simulated duration for trace-driven "
+                             "experiments (seconds)")
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in ("table2", "fig20", "fig21", "table3", "fig16",
+                     "fig17", "table1", "aggregation"):
+            COMMANDS[name](args)
+            print()
+    else:
+        COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

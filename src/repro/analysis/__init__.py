@@ -1,0 +1,10 @@
+"""Measurement utilities: summary statistics and result tables."""
+
+from repro.analysis.metrics import (
+    mean,
+    percentile,
+    normalized_shares,
+    format_table,
+)
+
+__all__ = ["mean", "percentile", "normalized_shares", "format_table"]

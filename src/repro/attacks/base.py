@@ -1,0 +1,92 @@
+"""Adversary base machinery: tap lifecycle and bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.dataplane.packet import Packet
+
+
+@dataclass
+class AdversaryStats:
+    seen: int = 0
+    modified: int = 0
+    dropped: int = 0
+    injected: int = 0
+    recorded: int = 0
+
+
+class Adversary:
+    """Base class: attach to a link or control channel as a tap.
+
+    Subclasses implement :meth:`process`, returning the (possibly
+    modified) packet or None to drop it.  ``direction_filter`` restricts
+    the adversary to one flow direction (``"a->b"``/``"b->a"`` on links,
+    ``"c->dp"``/``"dp->c"`` on control channels); None taps both.
+    """
+
+    def __init__(self, name: str = "adversary",
+                 direction_filter: Optional[str] = None):
+        self.name = name
+        self.direction_filter = direction_filter
+        self.stats = AdversaryStats()
+        self._attached: List[object] = []
+
+    def attach(self, channel) -> "Adversary":
+        """Install this adversary's tap on a Link or ControlChannel."""
+        channel.add_tap(self._tap)
+        self._attached.append(channel)
+        return self
+
+    def detach_all(self) -> None:
+        for channel in self._attached:
+            channel.remove_tap(self._tap)
+        self._attached = []
+
+    def _tap(self, packet: Packet, direction: str) -> Optional[Packet]:
+        if (self.direction_filter is not None
+                and direction != self.direction_filter):
+            return packet
+        self.stats.seen += 1
+        return self.process(packet, direction)
+
+    def process(self, packet: Packet, direction: str) -> Optional[Packet]:
+        raise NotImplementedError
+
+
+class Eavesdropper(Adversary):
+    """Records copies of everything matching a predicate (passive MitM).
+
+    Used by the key-secrecy analysis: the eavesdropper sees every key
+    exchange message (public keys and salts) yet cannot derive the master
+    secret — the tests feed its recordings to naive derivation attempts
+    and assert they all fail.
+    """
+
+    def __init__(self, predicate: Optional[Callable[[Packet], bool]] = None,
+                 direction_filter: Optional[str] = None):
+        super().__init__("eavesdropper", direction_filter)
+        self.predicate = predicate or (lambda _packet: True)
+        self.recordings: List[Packet] = []
+
+    def process(self, packet: Packet, direction: str) -> Optional[Packet]:
+        if self.predicate(packet):
+            self.recordings.append(packet.copy())
+            self.stats.recorded += 1
+        return packet
+
+
+class MessageDropper(Adversary):
+    """Drops every matching packet (availability attack)."""
+
+    def __init__(self, predicate: Optional[Callable[[Packet], bool]] = None,
+                 direction_filter: Optional[str] = None):
+        super().__init__("dropper", direction_filter)
+        self.predicate = predicate or (lambda _packet: True)
+
+    def process(self, packet: Packet, direction: str) -> Optional[Packet]:
+        if self.predicate(packet):
+            self.stats.dropped += 1
+            return None
+        return packet

@@ -1,0 +1,51 @@
+"""Digest brute-force adversary (paper §VIII, "Digest size").
+
+An attacker wanting to inject a crafted message without the key must
+guess the 32-bit digest.  Every wrong guess triggers an alert at the
+receiving data plane, revealing the attempt; the expected number of
+trials (2^31) makes the attack both slow and loud.  This adversary mounts
+a bounded version of that attack so tests and benches can measure the
+detection rate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.constants import P4AUTH
+from repro.core.messages import build_reg_write_request
+from repro.crypto.prng import XorShiftPrng
+from repro.dataplane.switch import DataplaneSwitch
+
+
+class DigestBruteForcer:
+    """Sends one crafted write request under many guessed digests."""
+
+    def __init__(self, network, switch_name: str, reg_id: int, index: int,
+                 value: int, seed: int = 0x5EED):
+        self.network = network
+        self.switch_name = switch_name
+        self.reg_id = reg_id
+        self.index = index
+        self.value = value
+        self._prng = XorShiftPrng(seed)
+        self.attempts = 0
+
+    def attempt(self, guesses: int, seq_num: int = 1,
+                spacing_s: float = 1e-4) -> None:
+        """Schedule ``guesses`` forged messages, one digest guess each."""
+        node = self.network.nodes[self.switch_name]
+        for trial in range(guesses):
+            forged = build_reg_write_request(self.reg_id, self.index,
+                                             self.value, seq_num)
+            forged.get(P4AUTH)["digest"] = self._prng.next_bits(32)
+            self.network.sim.schedule(
+                trial * spacing_s, node.receive, forged,
+                DataplaneSwitch.CPU_PORT,
+            )
+            self.attempts += 1
+
+    @staticmethod
+    def expected_trials() -> int:
+        """Expected guesses to forge a 32-bit digest (2^31)."""
+        return 1 << 31

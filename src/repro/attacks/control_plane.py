@@ -1,0 +1,165 @@
+"""Adversaries at the compromised switch control plane (C-DP threat).
+
+These model the paper's Attack 1 (§II-A): a malicious library between the
+gRPC server agent and the SDK/driver alters the arguments of register
+read/write calls — equivalently, the PacketOut/PacketIn messages crossing
+the switch OS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.constants import REG_OP, RegOpType
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import DataplaneSwitch
+from repro.attacks.base import Adversary
+
+ValueTransform = Callable[[int], int]
+
+
+def _msg_type_of(packet: Packet) -> Optional[int]:
+    """Register-op message type, whether plain (ctl) or P4Auth framed."""
+    if packet.has("ctl"):
+        return packet.get("ctl")["msgType"]
+    if packet.has("p4auth"):
+        return packet.get("p4auth")["msgType"]
+    return None
+
+
+class RegisterResponseTamperer(Adversary):
+    """Rewrites the value in register *read responses* (DP -> C).
+
+    The RouteScout attack of Fig 2/Fig 16: inflate the latency the
+    controller sees for one path so it shifts traffic to the other.
+    ``targets`` is a list of (reg_id, index) pairs to hit; ``transform``
+    maps the true value to the forged one.
+    """
+
+    def __init__(self, targets: List[Tuple[int, int]],
+                 transform: ValueTransform):
+        super().__init__("response-tamperer", direction_filter="dp->c")
+        self.targets = set(targets)
+        self.transform = transform
+
+    def process(self, packet: Packet, direction: str) -> Optional[Packet]:
+        if not packet.has(REG_OP):
+            return packet
+        if _msg_type_of(packet) != RegOpType.ACK:
+            return packet
+        payload = packet.get(REG_OP)
+        if (payload["regId"], payload["index"]) in self.targets:
+            payload["value"] = self.transform(payload["value"]) & ((1 << 64) - 1)
+            self.stats.modified += 1
+        return packet
+
+
+class RegisterRequestTamperer(Adversary):
+    """Rewrites the value (or index) in *write requests* (C -> DP).
+
+    The Blink/SilkRoad-style attack: the controller issues a legitimate
+    state update and the switch OS substitutes its own.
+    """
+
+    def __init__(self, reg_id: int,
+                 transform: ValueTransform,
+                 index_transform: Optional[Callable[[int], int]] = None):
+        super().__init__("request-tamperer", direction_filter="c->dp")
+        self.reg_id = reg_id
+        self.transform = transform
+        self.index_transform = index_transform
+
+    def process(self, packet: Packet, direction: str) -> Optional[Packet]:
+        if not packet.has(REG_OP):
+            return packet
+        if _msg_type_of(packet) != RegOpType.WRITE_REQ:
+            return packet
+        payload = packet.get(REG_OP)
+        if payload["regId"] != self.reg_id:
+            return packet
+        payload["value"] = self.transform(payload["value"]) & ((1 << 64) - 1)
+        if self.index_transform is not None:
+            payload["index"] = self.index_transform(payload["index"])
+        self.stats.modified += 1
+        return packet
+
+
+class ReplayAttacker(Adversary):
+    """Records matching messages in flight, to re-inject them later (§VIII).
+
+    Against P4Auth the replayed message carries a *valid* digest (the
+    attacker replays it bit-for-bit), so only the sequence-number defense
+    catches it.
+    """
+
+    def __init__(self, predicate: Callable[[Packet], bool],
+                 direction_filter: str = "c->dp"):
+        super().__init__("replayer", direction_filter)
+        self.predicate = predicate
+        self.recordings: List[Packet] = []
+
+    def process(self, packet: Packet, direction: str) -> Optional[Packet]:
+        if self.predicate(packet):
+            self.recordings.append(packet.copy())
+            self.stats.recorded += 1
+        return packet
+
+    def replay(self, network, switch_name: str,
+               count: Optional[int] = None) -> int:
+        """Re-inject recorded messages into the switch's CPU port.
+
+        The attacker sits below the controller, so injection bypasses the
+        controller but still traverses the data plane's checks.
+        """
+        node = network.nodes[switch_name]
+        replayed = 0
+        for packet in self.recordings[: count if count is not None else None]:
+            network.sim.schedule(0.0, node.receive, packet.copy(),
+                                 DataplaneSwitch.CPU_PORT)
+            self.stats.injected += 1
+            replayed += 1
+        return replayed
+
+
+class DosFlooder:
+    """Floods forged register requests at a data plane (§VIII DoS).
+
+    Each forged request carries a random digest; the data plane answers
+    every one with a nAck/alert unless its alert rate limit engages —
+    which is precisely the mitigation the paper prescribes and the DoS
+    benchmark measures.
+    """
+
+    def __init__(self, network, switch_name: str, reg_id: int,
+                 rate_hz: float = 1000.0, seed: int = 0xBADC0DE):
+        from repro.core.messages import build_reg_write_request
+        from repro.crypto.prng import XorShiftPrng
+        self._build = build_reg_write_request
+        self.network = network
+        self.switch_name = switch_name
+        self.reg_id = reg_id
+        self.rate_hz = rate_hz
+        self._prng = XorShiftPrng(seed)
+        self.sent = 0
+        self._active = False
+
+    def start(self, duration_s: float) -> None:
+        self._active = True
+        self._deadline = self.network.sim.now + duration_s
+        self._fire()
+
+    def stop(self) -> None:
+        self._active = False
+
+    def _fire(self) -> None:
+        sim = self.network.sim
+        if not self._active or sim.now >= self._deadline:
+            return
+        forged = self._build(self.reg_id, index=0,
+                             value=self._prng.next_bits(32),
+                             seq_num=self._prng.next_bits(31))
+        forged.get("p4auth")["digest"] = self._prng.next_bits(32)
+        node = self.network.nodes[self.switch_name]
+        sim.schedule(0.0, node.receive, forged, DataplaneSwitch.CPU_PORT)
+        self.sent += 1
+        sim.schedule(1.0 / self.rate_hz, self._fire)

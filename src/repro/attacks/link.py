@@ -1,0 +1,72 @@
+"""On-link MitM adversaries (DP-DP threat, Attack 2 of §II-A)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.dataplane.packet import Packet
+from repro.attacks.base import Adversary
+
+FieldValue = Union[int, Callable[[int], int]]
+
+
+class ProbeFieldTamperer(Adversary):
+    """Rewrites a field of an in-network feedback message in flight.
+
+    The HULA attack of Fig 3/Fig 17: on the S1-S4 link, rewrite
+    ``path_util`` in probes heading to S1 so the path via S4 always looks
+    least utilized.
+    """
+
+    def __init__(self, header: str, field: str, value: FieldValue,
+                 direction_filter: Optional[str] = None):
+        super().__init__("probe-tamperer", direction_filter)
+        self.header = header
+        self.field = field
+        self.value = value
+
+    def process(self, packet: Packet, direction: str) -> Optional[Packet]:
+        if not packet.has(self.header):
+            return packet
+        target = packet.get(self.header)
+        if callable(self.value):
+            target[self.field] = self.value(target[self.field])
+        else:
+            target[self.field] = self.value
+        self.stats.modified += 1
+        return packet
+
+
+class KeyExchangeTamperer(Adversary):
+    """Alters key-exchange messages (the R3 attack on key management).
+
+    Flipping bits in the public key or salt of an EAK/ADHKD message
+    desynchronizes the derived keys — unless the message is
+    authenticated, in which case the receiver detects the tamper and the
+    exchange simply never completes with a corrupted key.  Works on both
+    control channels (local-key exchanges) and links (direct port-key
+    updates).
+    """
+
+    def __init__(self, flip_mask: int = 0x1,
+                 direction_filter: Optional[str] = None,
+                 tamper_salt: bool = False):
+        super().__init__("keyexchange-tamperer", direction_filter)
+        self.flip_mask = flip_mask
+        self.tamper_salt = tamper_salt
+
+    def process(self, packet: Packet, direction: str) -> Optional[Packet]:
+        modified = False
+        if packet.has("adhkd"):
+            payload = packet.get("adhkd")
+            if self.tamper_salt:
+                payload["salt"] = payload["salt"] ^ self.flip_mask
+            else:
+                payload["pk"] = payload["pk"] ^ self.flip_mask
+            modified = True
+        elif packet.has("eak"):
+            packet.get("eak")["salt"] = packet.get("eak")["salt"] ^ self.flip_mask
+            modified = True
+        if modified:
+            self.stats.modified += 1
+        return packet

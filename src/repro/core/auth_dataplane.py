@@ -1,0 +1,690 @@
+"""P4Auth's data-plane module: verify-on-ingress, sign-on-egress.
+
+This is the component the paper implements in 400 lines of P4 (§VII).  It
+installs two pipeline stages on a :class:`~repro.dataplane.switch.DataplaneSwitch`:
+
+- ``p4auth_verify`` (first stage): authenticates every arriving P4Auth
+  message — C-DP register ops and key-exchange messages from the CPU
+  port, DP-DP feedback and key-exchange messages from network ports —
+  and dispatches the authenticated ones (register ops through the
+  ``reg_id_to_name_mapping`` table, exactly as in Fig 15; key-exchange
+  messages through the DP side of the KMP state machine).
+- ``p4auth_sign`` (last stage): computes digests on every packet leaving
+  through a keyed port, pushing a ``DP_FEEDBACK`` P4Auth header onto
+  protected in-network messages (e.g., HULA probes) that don't carry one
+  yet, and stripping the header when a packet exits the protected domain
+  through an unkeyed (edge) port.
+
+All digests run through the switch's hash extern, so they are charged to
+hash units (Table II) and to per-packet processing time (Figs 18/19/21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.constants import (
+    ADHKD,
+    ALERT,
+    EAK,
+    KEYCTL,
+    P4AUTH,
+    P4AUTH_HEADER,
+    REG_OP,
+    AlertCode,
+    HdrType,
+    KeyExchType,
+    RegOpType,
+)
+from repro.core.confidentiality import derive_session_keys, encrypt_value
+from repro.crypto.stream import xor_crypt
+from repro.core.digest import DigestEngine
+from repro.core.exchange import AdhkdEndpoint, EakEndpoint
+from repro.core.keys import LOCAL_KEY_INDEX, DataplaneKeyStore
+from repro.core.messages import (
+    build_adhkd_message,
+    build_alert,
+    build_eak_message,
+    build_reg_response,
+)
+from repro.crypto.kdf import Kdf
+from repro.crypto.prng import XorShiftPrng
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import Emit, PipelineContext
+from repro.dataplane.switch import DataplaneSwitch
+from repro.dataplane.tables import MatchActionTable, MatchKind, TableEntry
+
+
+#: ``flags`` bit marking an encrypted register-op value (see
+#: :mod:`repro.core.confidentiality`).
+FLAG_ENCRYPTED = 0x1
+
+
+@dataclass
+class P4AuthConfig:
+    """Tunables for the data-plane module."""
+
+    #: Drop unauthenticated register operations arriving on the CPU port
+    #: (prevention, not just detection).
+    strict_cpu: bool = True
+    #: Max alert messages the DP sends to the controller per window
+    #: (the §VIII DoS mitigation); None disables rate limiting.
+    alert_threshold: Optional[int] = 100
+    alert_window_s: float = 1.0
+    #: Header names this switch authenticates DP-DP (e.g. {"hula_probe"}).
+    protected_headers: Set[str] = field(default_factory=set)
+    #: Accept and produce encrypted register-op values (the §XI
+    #: confidentiality extension; encrypt-then-MAC with session keys
+    #: derived from the local key).
+    encrypt_regops: bool = False
+    #: Hop-by-hop payload encryption for protected DP-DP feedback
+    #: messages (e.g. INT records): each link re-encrypts under its own
+    #: port-key-derived session key.  Must be enabled fabric-wide.
+    encrypt_feedback: bool = False
+
+
+@dataclass
+class P4AuthStats:
+    """Counters the evaluation reads out."""
+
+    regops_served: int = 0
+    digest_fail_cdp: int = 0
+    digest_fail_dpdp: int = 0
+    replays_detected: int = 0
+    unknown_register: int = 0
+    unauthenticated_dropped: int = 0
+    alerts_raised: int = 0
+    alerts_suppressed: int = 0
+    feedback_verified: int = 0
+    feedback_signed: int = 0
+    kmp_dpdp_messages: int = 0
+    kmp_dpdp_bytes: int = 0
+
+
+class P4AuthDataplane:
+    """The P4Auth program fragment resident in one switch data plane."""
+
+    def __init__(self, switch: DataplaneSwitch, k_seed: int,
+                 config: Optional[P4AuthConfig] = None,
+                 kdf: Optional[Kdf] = None):
+        self.switch = switch
+        self.k_seed = k_seed
+        self.config = config or P4AuthConfig()
+        self.keys = DataplaneKeyStore(switch.registers, switch.num_ports)
+        self.digest = DigestEngine(extern=switch.hash)
+        self.stats = P4AuthStats()
+        self._kdf = kdf or Kdf()
+        # The switch's random() extern backs all protocol randomness.
+        self._prng = XorShiftPrng(switch.random.random(64))
+
+        registers = switch.registers
+        self._kauth = registers.define("p4auth_kauth", 64, 1)
+        self._expected_seq = registers.define("p4auth_expected_seq", 32, 1)
+        self._dp_seq = registers.define("p4auth_dp_seq", 32, 1)
+        size = switch.num_ports + 1
+        self._port_seq = registers.define("p4auth_port_seq", 32, size)
+        self._pending_r1 = registers.define("p4auth_pending_r1", 64, size)
+        self._pending_s1 = registers.define("p4auth_pending_s1", 64, size)
+        self._alert_count = registers.define("p4auth_alert_count", 32, 1)
+        self._alert_window_start = 0.0
+
+        # Fig 15's reg_id_to_name_mapping table: (regId, opType) -> action.
+        self.mapping_table = MatchActionTable(
+            "reg_id_to_name_mapping",
+            [("regId", MatchKind.EXACT, 32), ("opType", MatchKind.EXACT, 8)],
+            max_entries=4096,
+        )
+        switch.add_table(self.mapping_table)
+
+        # Per-operation scratch (models PHV metadata within one packet).
+        self._op_index = 0
+        self._op_value = 0
+        self._op_result = 0
+        self._op_ok = False
+
+        #: Out-of-band instrumentation hooks (measurement only, no wire
+        #: traffic): fired when a key install completes.
+        self.on_local_key_installed: List[Callable[[int, float], None]] = []
+        self.on_port_key_installed: List[Callable[[int, int, float], None]] = []
+        #: Fired whenever the DP emits a key-exchange message directly to a
+        #: neighbor data plane (port, packet) — used for Table III counting.
+        self.on_dpdp_exchange_sent: List[Callable[[int, Packet], None]] = []
+
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # installation & register mapping
+    # ------------------------------------------------------------------
+
+    def install(self) -> "P4AuthDataplane":
+        """Insert the verify/sign stages into the switch pipeline."""
+        if self._installed:
+            raise RuntimeError("P4Auth already installed on this switch")
+        self.switch.pipeline.insert_stage(0, "p4auth_verify", self._verify_stage)
+        self.switch.pipeline.add_stage("p4auth_sign", self._sign_stage)
+        self._installed = True
+        return self
+
+    def map_register(self, name: str) -> int:
+        """Expose a program register to authenticated C-DP read/write.
+
+        Installs the two mapping-table entries (read and write) for the
+        register and returns its p4info-style id.  P4Auth's own state
+        (``p4auth_*`` registers, including all key material) is
+        deliberately unmappable — the controller cannot read keys out of
+        the data plane, and neither can an adversary with C-DP access.
+        """
+        if name.startswith("p4auth_"):
+            raise PermissionError(
+                f"register {name!r} is P4Auth-internal state and must not "
+                "be exposed to C-DP operations"
+            )
+        register = self.switch.registers.get(name)
+        reg_id = self.switch.registers.id_of(name)
+
+        def do_read() -> None:
+            self._op_ok = True
+            self._op_result = register.read(self._op_index)
+
+        def do_write() -> None:
+            self._op_ok = True
+            register.write(self._op_index, self._op_value)
+            self._op_result = self._op_value
+
+        self.mapping_table.register_action(f"{name}_read", do_read)
+        self.mapping_table.register_action(f"{name}_write", do_write)
+        self.mapping_table.insert(TableEntry(
+            key=(reg_id, int(RegOpType.READ_REQ)), action=f"{name}_read"))
+        self.mapping_table.insert(TableEntry(
+            key=(reg_id, int(RegOpType.WRITE_REQ)), action=f"{name}_write"))
+        return reg_id
+
+    def map_all_registers(self) -> Dict[str, int]:
+        """Map every non-P4Auth register; returns name -> id."""
+        mapping = {}
+        for name in self.switch.registers.names():
+            if not name.startswith("p4auth_"):
+                mapping[name] = self.map_register(name)
+        return mapping
+
+    # ------------------------------------------------------------------
+    # verify stage
+    # ------------------------------------------------------------------
+
+    def _verify_stage(self, ctx: PipelineContext) -> None:
+        packet = ctx.packet
+        # Metadata is per-switch PHV state; the previous hop's sign marker
+        # must not suppress re-signing here (in-network messages mutate
+        # hop by hop, e.g. INT records, HULA utilization).
+        packet.metadata.pop("p4auth_signed", None)
+        if not packet.has(P4AUTH):
+            self._handle_unauthenticated(ctx)
+            return
+        hdr = packet.get(P4AUTH)
+        from_cpu = ctx.ingress_port == DataplaneSwitch.CPU_PORT
+        key = self._select_key(hdr, ctx.ingress_port)
+        if key is None or key == 0 or not self.digest.verify(key, packet):
+            self._on_digest_fail(ctx, hdr, from_cpu)
+            return
+
+        hdr_type = hdr["hdrType"]
+        if hdr_type == HdrType.REGISTER_OP:
+            if not packet.has(REG_OP):
+                ctx.drop("register op without a reg_op payload")
+                return
+            self._handle_reg_op(ctx, hdr)
+            ctx.stop()
+        elif hdr_type == HdrType.KEY_EXCHANGE:
+            if not self._exchange_payload_ok(packet, hdr["msgType"]):
+                ctx.drop("key-exchange message with a malformed payload")
+                return
+            self._handle_key_exchange(ctx, hdr, from_cpu)
+            ctx.stop()
+        elif hdr_type == HdrType.DP_FEEDBACK:
+            # Authenticated in-network feedback: let the host system's
+            # stages process it.
+            if (self.config.encrypt_feedback and packet.payload
+                    and hdr["flags"] & FLAG_ENCRYPTED):
+                self._crypt_feedback_payload(packet, ctx.ingress_port,
+                                             hdr, sender_side=False)
+                hdr["flags"] &= ~FLAG_ENCRYPTED & 0xFF
+            packet.metadata["p4auth_verified"] = True
+            self.stats.feedback_verified += 1
+        else:
+            ctx.drop(f"unexpected hdrType {hdr_type} at data plane")
+
+    def _select_key(self, hdr, ingress_port: int) -> Optional[int]:
+        """Which key authenticates this message (None = no key material)."""
+        key_ver = hdr["keyVer"]
+        if ingress_port != DataplaneSwitch.CPU_PORT:
+            if not 1 <= ingress_port <= self.switch.num_ports:
+                return None
+            return self.keys.port_key(ingress_port, key_ver) or None
+        hdr_type = hdr["hdrType"]
+        msg_type = hdr["msgType"]
+        if hdr_type == HdrType.KEY_EXCHANGE:
+            if msg_type == KeyExchType.EAK_SALT1:
+                return self.k_seed
+            if msg_type in (KeyExchType.ADHKD_MSG1, KeyExchType.ADHKD_MSG2):
+                if hdr["flags"] == 0:
+                    # Local-key *initialization* (initKeyExch, Fig 14a):
+                    # authenticated with K_auth.
+                    return self._kauth.read(0) or None
+                # Redirected port-key legs: the local key.
+                return self.keys.local_key(key_ver) or None
+            # updKeyExch and portKey* control messages: the local key.
+        return self.keys.local_key(key_ver) or None
+
+    def _handle_unauthenticated(self, ctx: PipelineContext) -> None:
+        packet = ctx.packet
+        if ctx.ingress_port == DataplaneSwitch.CPU_PORT:
+            if self.config.strict_cpu and packet.has(REG_OP):
+                self.stats.unauthenticated_dropped += 1
+                self._raise_alert(ctx, AlertCode.UNAUTHENTICATED_REG_OP)
+                ctx.drop("unauthenticated register operation")
+            return
+        if (self._carries_protected(packet)
+                and self.keys.has_port_key(ctx.ingress_port)):
+            # A protected feedback message arrived on a keyed link without
+            # a P4Auth header: a MitM stripped or never had the digest.
+            self.stats.digest_fail_dpdp += 1
+            self._raise_alert(ctx, AlertCode.DIGEST_MISMATCH_DPDP,
+                              detail=ctx.ingress_port)
+            ctx.drop("unauthenticated protected feedback message")
+
+    def _on_digest_fail(self, ctx: PipelineContext, hdr, from_cpu: bool) -> None:
+        msg_type = hdr["msgType"]
+        if from_cpu:
+            self.stats.digest_fail_cdp += 1
+            is_request = (
+                hdr["hdrType"] == HdrType.REGISTER_OP
+                and msg_type in (RegOpType.READ_REQ, RegOpType.WRITE_REQ)
+                and ctx.packet.has(REG_OP)
+            )
+            if is_request:
+                # The nAck doubles as the alert; it shares the alert
+                # budget so a flood of tampered requests cannot jam the
+                # DP -> C channel (§VIII DoS mitigation).
+                if self._alert_budget_ok(ctx.now):
+                    payload = ctx.packet.get(REG_OP)
+                    nack = build_reg_response(
+                        ok=False, reg_id=payload["regId"],
+                        index=payload["index"], value=0,
+                        seq_num=hdr["seqNum"],
+                        key_ver=self.keys.active_version(LOCAL_KEY_INDEX),
+                    )
+                    self._sign_local(nack)
+                    ctx.to_controller(nack, reason="digest mismatch")
+                    self.stats.alerts_raised += 1
+            else:
+                self._raise_alert(ctx, AlertCode.DIGEST_MISMATCH_CDP)
+        else:
+            self.stats.digest_fail_dpdp += 1
+            self._raise_alert(ctx, AlertCode.DIGEST_MISMATCH_DPDP,
+                              detail=ctx.ingress_port)
+        ctx.drop("p4auth digest verification failed")
+
+    # ------------------------------------------------------------------
+    # register operations (Fig 8 / Fig 15)
+    # ------------------------------------------------------------------
+
+    def _handle_reg_op(self, ctx: PipelineContext, hdr) -> None:
+        payload = ctx.packet.get(REG_OP)
+        seq = hdr["seqNum"]
+        encrypted = bool(hdr["flags"] & FLAG_ENCRYPTED)
+        expected = self._expected_seq.read(0)
+        if seq < expected:
+            # Authenticated but stale: a replayed request (§VIII).
+            self.stats.replays_detected += 1
+            self._raise_alert(ctx, AlertCode.REPLAY_SUSPECTED, detail=seq)
+            self._respond_reg(ctx, ok=False, payload=payload, seq=seq,
+                              value=0, encrypted=encrypted,
+                              key_ver=hdr["keyVer"])
+            return
+        self._expected_seq.write(0, (seq + 1) & 0xFFFFFFFF)
+
+        self._op_index = payload["index"]
+        self._op_value = payload["value"]
+        if encrypted:
+            # Encrypt-then-MAC order: the digest already verified over the
+            # ciphertext; decrypt only now (costs hash units).
+            session = self._session_keys(hdr["keyVer"])
+            self._op_value = encrypt_value(session, seq, self._op_value)
+            self._charge_kdf()
+        self._op_ok = False
+        self._op_result = 0
+        self.mapping_table.lookup(payload["regId"], hdr["msgType"])
+        if not self._op_ok:
+            self.stats.unknown_register += 1
+            self._raise_alert(ctx, AlertCode.UNKNOWN_REGISTER,
+                              detail=payload["regId"])
+            self._respond_reg(ctx, ok=False, payload=payload, seq=seq,
+                              value=0, encrypted=encrypted,
+                              key_ver=hdr["keyVer"])
+            return
+        self.stats.regops_served += 1
+        self._respond_reg(ctx, ok=True, payload=payload, seq=seq,
+                          value=self._op_result, encrypted=encrypted,
+                          key_ver=hdr["keyVer"])
+
+    def _session_keys(self, key_ver: int):
+        """Session-key family for the local key at a given version."""
+        return derive_session_keys(self.keys.local_key(key_ver))
+
+    def _respond_reg(self, ctx: PipelineContext, ok: bool, payload, seq: int,
+                     value: int, encrypted: bool = False,
+                     key_ver: Optional[int] = None) -> None:
+        # Respond under the same key version that authenticated the
+        # request: during a rollover the controller may not have
+        # installed the DP's newest key yet (§VI-C consistent updates).
+        if key_ver is None:
+            key_ver = self.keys.active_version(LOCAL_KEY_INDEX)
+        if encrypted and self.config.encrypt_regops:
+            session = self._session_keys(key_ver)
+            value = encrypt_value(session, seq, value, response=True)
+        response = build_reg_response(
+            ok=ok, reg_id=payload["regId"], index=payload["index"],
+            value=value, seq_num=seq, key_ver=key_ver,
+        )
+        if encrypted and self.config.encrypt_regops:
+            response.get(P4AUTH)["flags"] = FLAG_ENCRYPTED
+        response.get(P4AUTH)["keyVer"] = key_ver
+        self.digest.sign(self.keys.local_key(key_ver), response)
+        ctx.to_controller(response, reason="reg-op response")
+
+    # ------------------------------------------------------------------
+    # key management: the DP side of EAK / ADHKD (Figs 11, 12, 14)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _exchange_payload_ok(packet: Packet, msg_type: int) -> bool:
+        """Structural check: the msgType's required payload is present."""
+        if msg_type in (KeyExchType.EAK_SALT1, KeyExchType.EAK_SALT2):
+            return packet.has(EAK)
+        if msg_type in (KeyExchType.ADHKD_MSG1, KeyExchType.ADHKD_MSG2,
+                        KeyExchType.UPD_MSG1, KeyExchType.UPD_MSG2):
+            return packet.has(ADHKD)
+        if msg_type in (KeyExchType.PORT_KEY_INIT,
+                        KeyExchType.PORT_KEY_UPDATE):
+            return packet.has(KEYCTL)
+        return False
+
+    def _handle_key_exchange(self, ctx: PipelineContext, hdr,
+                             from_cpu: bool) -> None:
+        msg_type = hdr["msgType"]
+        if from_cpu:
+            if msg_type == KeyExchType.EAK_SALT1:
+                self._eak_respond(ctx, hdr)
+            elif msg_type == KeyExchType.ADHKD_MSG1:
+                self._adhkd_respond_cpu(ctx, hdr)
+            elif msg_type == KeyExchType.UPD_MSG1:
+                self._upd_respond_cpu(ctx, hdr)
+            elif msg_type == KeyExchType.ADHKD_MSG2:
+                self._adhkd_finish_redirected(ctx, hdr)
+            elif msg_type == KeyExchType.PORT_KEY_INIT:
+                self._port_key_start(ctx, hdr, via_controller=True)
+            elif msg_type == KeyExchType.PORT_KEY_UPDATE:
+                self._port_key_start(ctx, hdr, via_controller=False)
+            else:
+                ctx.drop(f"unexpected key-exchange msgType {msg_type} from C")
+        else:
+            if msg_type == KeyExchType.ADHKD_MSG1:
+                self._adhkd_respond_link(ctx, hdr)
+            elif msg_type == KeyExchType.ADHKD_MSG2:
+                self._adhkd_finish_link(ctx, hdr)
+            else:
+                ctx.drop(f"unexpected key-exchange msgType {msg_type} on link")
+
+    def _eak_respond(self, ctx: PipelineContext, hdr) -> None:
+        salt1 = ctx.packet.get(EAK)["salt"]
+        endpoint = EakEndpoint(self.k_seed, self._prng, self._kdf)
+        salt2, k_auth = endpoint.respond(salt1)
+        self._charge_kdf()
+        self._kauth.write(0, k_auth)
+        reply = build_eak_message(KeyExchType.EAK_SALT2, salt2, hdr["seqNum"])
+        self.digest.sign(self.k_seed, reply)
+        ctx.to_controller(reply, reason="EAK salt2")
+
+    def _adhkd_respond_cpu(self, ctx: PipelineContext, hdr) -> None:
+        """ADHKD_MSG1 via CPU: local-key exchange, or a redirected
+        port-key init leg (flags carries the local port number)."""
+        payload = ctx.packet.get(ADHKD)
+        context_port = hdr["flags"]
+        endpoint = AdhkdEndpoint(self._prng, kdf=self._kdf)
+        pk2, salt2, master = endpoint.respond(payload["pk"], payload["salt"])
+        self._charge_kdf()
+        if context_port == 0:
+            # Local-key initialization: the reply is authenticated with
+            # K_auth, and the fresh key always (re)occupies version 0 so
+            # retried initializations cannot drift the version counters.
+            reply = build_adhkd_message(KeyExchType.ADHKD_MSG2, pk2, salt2,
+                                        hdr["seqNum"])
+            self.digest.sign(self._kauth.read(0), reply)
+            ctx.to_controller(reply, reason="ADHKD msg2 (local key)")
+            self.keys.install_at(LOCAL_KEY_INDEX, master, 0)
+            for hook in self.on_local_key_installed:
+                hook(master, ctx.now)
+        else:
+            reply = build_adhkd_message(KeyExchType.ADHKD_MSG2, pk2, salt2,
+                                        hdr["seqNum"])
+            reply.get(P4AUTH)["flags"] = context_port
+            self._sign_local(reply)
+            ctx.to_controller(reply, reason="ADHKD msg2 (port key, redirected)")
+            self.keys.install_at(context_port, master, 0)
+            self.keys.set_port_direction(context_port, 1)
+            for hook in self.on_port_key_installed:
+                hook(context_port, master, ctx.now)
+
+    def _upd_respond_cpu(self, ctx: PipelineContext, hdr) -> None:
+        """updKeyExch leg 1 (Fig 14b): roll the local key.
+
+        The reply is signed with the *same* key slot that authenticated
+        the request, and the new key installs into the *next* slot — both
+        derived from the request's keyVer tag, so a retried update after
+        a lost reply re-synchronizes instead of drifting.
+        """
+        payload = ctx.packet.get(ADHKD)
+        endpoint = AdhkdEndpoint(self._prng, kdf=self._kdf)
+        pk2, salt2, master = endpoint.respond(payload["pk"], payload["salt"])
+        self._charge_kdf()
+        request_ver = hdr["keyVer"]
+        reply = build_adhkd_message(KeyExchType.UPD_MSG2, pk2, salt2,
+                                    hdr["seqNum"], key_ver=request_ver)
+        self.digest.sign(self.keys.local_key(request_ver), reply)
+        ctx.to_controller(reply, reason="updKeyExch msg2 (local key)")
+        self.keys.install_at(LOCAL_KEY_INDEX, master, request_ver + 1)
+        for hook in self.on_local_key_installed:
+            hook(master, ctx.now)
+
+    def _adhkd_finish_redirected(self, ctx: PipelineContext, hdr) -> None:
+        """ADHKD_MSG2 via CPU: completes a redirected port-key init we
+        started with PORT_KEY_INIT."""
+        context_port = hdr["flags"]
+        if context_port == 0 or self._pending_r1.read(context_port) == 0:
+            self._raise_alert(ctx, AlertCode.KEY_EXCHANGE_TAMPER,
+                              detail=context_port)
+            ctx.drop("ADHKD msg2 without a pending exchange")
+            return
+        # Redirected port-key *initialization*: always version 0.
+        self._finish_port_exchange(ctx, hdr, context_port, version=0)
+
+    def _adhkd_respond_link(self, ctx: PipelineContext, hdr) -> None:
+        """ADHKD_MSG1 over a link: the peer is rolling our shared port key."""
+        port = ctx.ingress_port
+        seq = hdr["seqNum"]
+        if seq <= self._port_seq.read(port):
+            self.stats.replays_detected += 1
+            self._raise_alert(ctx, AlertCode.REPLAY_SUSPECTED, detail=seq)
+            ctx.drop("replayed DP-DP key exchange message")
+            return
+        self._port_seq.write(port, seq)
+        payload = ctx.packet.get(ADHKD)
+        endpoint = AdhkdEndpoint(self._prng, kdf=self._kdf)
+        pk2, salt2, master = endpoint.respond(payload["pk"], payload["salt"])
+        self._charge_kdf()
+        request_ver = hdr["keyVer"]
+        reply = build_adhkd_message(KeyExchType.ADHKD_MSG2, pk2, salt2, seq,
+                                    key_ver=request_ver)
+        self.digest.sign(self.keys.port_key(port, request_ver), reply)
+        reply.metadata["p4auth_signed"] = True
+        self._count_dpdp(port, reply)
+        ctx.emit(port, reply)
+        self.keys.install_at(port, master, request_ver + 1)
+        self.keys.set_port_direction(port, 1)
+        for hook in self.on_port_key_installed:
+            hook(port, master, ctx.now)
+
+    def _adhkd_finish_link(self, ctx: PipelineContext, hdr) -> None:
+        """ADHKD_MSG2 over a link: completes a direct port-key update."""
+        port = ctx.ingress_port
+        if self._pending_r1.read(port) == 0:
+            self._raise_alert(ctx, AlertCode.KEY_EXCHANGE_TAMPER, detail=port)
+            ctx.drop("ADHKD msg2 without a pending exchange")
+            return
+        # Direct update: the new key installs at (authenticated keyVer + 1).
+        self._finish_port_exchange(ctx, hdr, port,
+                                   version=hdr["keyVer"] + 1)
+
+    def _finish_port_exchange(self, ctx: PipelineContext, hdr, port: int,
+                              version: int = 0) -> None:
+        payload = ctx.packet.get(ADHKD)
+        endpoint = AdhkdEndpoint(self._prng, kdf=self._kdf)
+        endpoint.resume(self._pending_r1.read(port), self._pending_s1.read(port))
+        master = endpoint.finish(payload["pk"], payload["salt"])
+        self._charge_kdf()
+        self._pending_r1.write(port, 0)
+        self._pending_s1.write(port, 0)
+        self.keys.install_at(port, master, version)
+        self.keys.set_port_direction(port, 0)
+        for hook in self.on_port_key_installed:
+            hook(port, master, ctx.now)
+
+    def _port_key_start(self, ctx: PipelineContext, hdr,
+                        via_controller: bool) -> None:
+        port = ctx.packet.get(KEYCTL)["port"]
+        if not 1 <= port <= self.switch.num_ports:
+            self._raise_alert(ctx, AlertCode.KEY_EXCHANGE_TAMPER, detail=port)
+            ctx.drop(f"portKey message for invalid port {port}")
+            return
+        endpoint = AdhkdEndpoint(self._prng, kdf=self._kdf)
+        pk1, salt1 = endpoint.start()
+        r1, s1 = endpoint.pending_state()
+        self._pending_r1.write(port, r1)
+        self._pending_s1.write(port, s1)
+        seq = self._next_dp_seq()
+        msg1 = build_adhkd_message(KeyExchType.ADHKD_MSG1, pk1, salt1, seq)
+        if via_controller:
+            msg1.get(P4AUTH)["flags"] = port
+            self._sign_local(msg1)
+            ctx.to_controller(msg1, reason="ADHKD msg1 (port key, redirected)")
+        else:
+            msg1.get(P4AUTH)["keyVer"] = self.keys.active_version(port)
+            self.digest.sign(self.keys.port_key(port), msg1)
+            msg1.metadata["p4auth_signed"] = True
+            self._count_dpdp(port, msg1)
+            ctx.emit(port, msg1)
+
+    # ------------------------------------------------------------------
+    # sign stage
+    # ------------------------------------------------------------------
+
+    def _sign_stage(self, ctx: PipelineContext) -> None:
+        for action in ctx.actions:
+            if not isinstance(action, Emit):
+                continue
+            packet = action.packet
+            if packet.metadata.get("p4auth_signed"):
+                continue
+            keyed = self.keys.has_port_key(action.port)
+            if packet.has(P4AUTH):
+                if keyed:
+                    self._sign_for_port(packet, action.port)
+                else:
+                    # Leaving the protected domain through an edge port.
+                    packet.remove(P4AUTH)
+            elif keyed and self._carries_protected(packet):
+                auth = P4AUTH_HEADER.instantiate(
+                    hdrType=int(HdrType.DP_FEEDBACK), msgType=0,
+                    seqNum=self._next_dp_seq(), keyVer=0, flags=0,
+                    length=0, digest=0,
+                )
+                packet.push(P4AUTH, auth)
+                self._sign_for_port(packet, action.port)
+            packet.metadata["p4auth_signed"] = True
+
+    def _sign_for_port(self, packet: Packet, port: int) -> None:
+        hdr = packet.get(P4AUTH)
+        hdr["keyVer"] = self.keys.active_version(port)
+        if (self.config.encrypt_feedback and packet.payload
+                and hdr["hdrType"] == HdrType.DP_FEEDBACK):
+            self._crypt_feedback_payload(packet, port, hdr, sender_side=True)
+            hdr["flags"] |= FLAG_ENCRYPTED
+        self.digest.sign(self.keys.port_key(port), packet)
+        self.stats.feedback_signed += 1
+
+    def _crypt_feedback_payload(self, packet: Packet, port: int, hdr,
+                                sender_side: bool) -> None:
+        """Encrypt/decrypt a feedback payload under this link's session
+        key (encrypt-then-MAC order is preserved by the callers).
+
+        The nonce folds in the message sequence number and the sender's
+        exchange-direction bit, so the two directions of a link never
+        reuse a (key, nonce) pair.
+        """
+        session = derive_session_keys(
+            self.keys.port_key(port, hdr["keyVer"]))
+        own_dir = self.keys.port_direction(port)
+        sender_dir = own_dir if sender_side else 1 - own_dir
+        nonce = ((hdr["seqNum"] << 1) | sender_dir) & ((1 << 64) - 1)
+        packet.payload = xor_crypt(session.encryption, nonce, packet.payload)
+        self._charge_kdf()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _carries_protected(self, packet: Packet) -> bool:
+        return any(packet.has(name) for name in self.config.protected_headers)
+
+    def _sign_local(self, packet: Packet) -> None:
+        packet.get(P4AUTH)["keyVer"] = self.keys.active_version(LOCAL_KEY_INDEX)
+        self.digest.sign(self.keys.local_key(), packet)
+
+    def _next_dp_seq(self) -> int:
+        return self._dp_seq.read_modify_write(0, lambda v: v + 1)
+
+    def _charge_kdf(self) -> None:
+        # The KDF's two PRF executions run on hash units; charge them to
+        # the extern so the timing model sees the cost (§VI-D).
+        self.switch.hash.invocations += 2
+
+    def _alert_budget_ok(self, now: float) -> bool:
+        if self.config.alert_threshold is None:
+            return True
+        if now - self._alert_window_start >= self.config.alert_window_s:
+            self._alert_window_start = now
+            self._alert_count.write(0, 0)
+        count = self._alert_count.read(0)
+        if count >= self.config.alert_threshold:
+            self.stats.alerts_suppressed += 1
+            return False
+        self._alert_count.write(0, count + 1)
+        return True
+
+    def _raise_alert(self, ctx: PipelineContext, code: AlertCode,
+                     detail: int = 0) -> None:
+        if not self._alert_budget_ok(ctx.now):
+            return
+        self.stats.alerts_raised += 1
+        alert = build_alert(code, detail, self._next_dp_seq())
+        key = self.keys.local_key() or self._kauth.read(0) or self.k_seed
+        alert.get(P4AUTH)["keyVer"] = self.keys.active_version(LOCAL_KEY_INDEX)
+        self.digest.sign(key, alert)
+        ctx.to_controller(alert, reason=f"alert:{code.name}")
+
+    def _count_dpdp(self, port: int, packet: Packet) -> None:
+        self.stats.kmp_dpdp_messages += 1
+        self.stats.kmp_dpdp_bytes += packet.size_bytes
+        for hook in self.on_dpdp_exchange_sent:
+            hook(port, packet)

@@ -1,0 +1,126 @@
+"""P4Auth wire formats and protocol constants (paper Fig 7).
+
+The P4Auth header is 14 bytes:
+
+======== ====== =========================================================
+field    bits   meaning
+======== ====== =========================================================
+hdrType    8    message class: register op / alert / key exchange
+msgType    8    class-specific subtype (readReq, ack, EAK salt, ...)
+seqNum    32    request/response correlation + replay defense (§VIII)
+keyVer     8    which key version authenticated this message (§VI-C)
+flags      8    reserved
+length    16    payload byte length
+digest    32    HMAC over header (sans digest) + payload (Eqn. 4)
+======== ====== =========================================================
+
+Payload formats are sized so the per-exchange byte totals reproduce
+Table III exactly: EAK = 22 B, ADHKD = 30 B, portKeyInit/Update = 18 B
+(see DESIGN.md, "Message-size calibration").
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.dataplane.headers import HeaderType
+
+
+class HdrType(enum.IntEnum):
+    """Top-level message class carried in ``hdrType``."""
+
+    REGISTER_OP = 1
+    ALERT = 2
+    KEY_EXCHANGE = 3
+    DP_FEEDBACK = 4  # DP-DP in-network control message protection
+
+
+class RegOpType(enum.IntEnum):
+    """``msgType`` values when ``hdrType == REGISTER_OP`` (Fig 7)."""
+
+    READ_REQ = 1
+    WRITE_REQ = 2
+    ACK = 3
+    NACK = 4
+
+
+class KeyExchType(enum.IntEnum):
+    """``msgType`` values when ``hdrType == KEY_EXCHANGE`` (Fig 14)."""
+
+    EAK_SALT1 = 1       # C -> DP, carries S1
+    EAK_SALT2 = 2       # DP -> C, carries S2
+    ADHKD_MSG1 = 3      # initiator -> responder: PK1, S1
+    ADHKD_MSG2 = 4      # responder -> initiator: PK2, S2
+    PORT_KEY_INIT = 5   # C -> DP: start port-key ADHKD via controller
+    PORT_KEY_UPDATE = 6  # C -> DP: start port-key ADHKD directly over link
+    UPD_MSG1 = 7        # updKeyExch leg 1: local-key update (K_local auth)
+    UPD_MSG2 = 8        # updKeyExch leg 2
+
+
+class AlertCode(enum.IntEnum):
+    """Why the data plane raised an alert."""
+
+    DIGEST_MISMATCH_CDP = 1
+    DIGEST_MISMATCH_DPDP = 2
+    REPLAY_SUSPECTED = 3
+    UNKNOWN_REGISTER = 4
+    KEY_EXCHANGE_TAMPER = 5
+    UNAUTHENTICATED_REG_OP = 6
+
+
+# ---------------------------------------------------------------------------
+# Header type declarations
+# ---------------------------------------------------------------------------
+
+#: The 14-byte P4Auth header (Fig 7).
+P4AUTH_HEADER = HeaderType("p4auth", [
+    ("hdrType", 8),
+    ("msgType", 8),
+    ("seqNum", 32),
+    ("keyVer", 8),
+    ("flags", 8),
+    ("length", 16),
+    ("digest", 32),
+])
+
+#: Register read/write payload: identifier, index, and (for writes/acks)
+#: the 64-bit value.  16 bytes.
+REG_OP_HEADER = HeaderType("reg_op", [
+    ("regId", 32),
+    ("index", 32),
+    ("value", 64),
+])
+
+#: EAK payload: one 64-bit salt.  8 bytes (message total 22 B).
+EAK_HEADER = HeaderType("eak", [
+    ("salt", 64),
+])
+
+#: ADHKD payload: public key + salt.  16 bytes (message total 30 B).
+ADHKD_HEADER = HeaderType("adhkd", [
+    ("pk", 64),
+    ("salt", 64),
+])
+
+#: portKeyInit / portKeyUpdate payload: the local port whose key to
+#: (re-)establish.  4 bytes (message total 18 B).
+KEYCTL_HEADER = HeaderType("keyctl", [
+    ("port", 32),
+])
+
+#: Alert payload: code + detail word.  8 bytes.
+ALERT_HEADER = HeaderType("alert", [
+    ("code", 8),
+    ("detail", 56),
+])
+
+#: Name under which the P4Auth header rides on a packet's header stack.
+P4AUTH = "p4auth"
+REG_OP = "reg_op"
+EAK = "eak"
+ADHKD = "adhkd"
+KEYCTL = "keyctl"
+ALERT = "alert"
+
+#: Key version slots (two-version consistent updates, §VI-C).
+KEY_VERSIONS = 2

@@ -1,0 +1,319 @@
+"""The P4Auth controller.
+
+Composes authenticated register read/write requests, verifies responses,
+logs data-plane alerts, runs the controller side of the key-management
+protocol (via :class:`~repro.core.kmp.KeyManagementProtocol`), and applies
+the §VIII DoS heuristics (outstanding-request threshold, unacknowledged
+sequence tracking).
+
+The controller's view of the world is exactly what the paper grants it: it
+shares ``K_seed`` with each switch binary, learns register identifiers
+from the p4info-equivalent id map at provisioning time, and afterwards
+talks to data planes only through (possibly adversarial) control channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.auth_dataplane import FLAG_ENCRYPTED, P4AuthDataplane
+from repro.core.confidentiality import derive_session_keys, encrypt_value
+from repro.core.constants import (
+    ALERT,
+    P4AUTH,
+    REG_OP,
+    AlertCode,
+    HdrType,
+    RegOpType,
+)
+from repro.core.digest import DigestEngine
+from repro.core.keys import ControllerKeyStore
+from repro.core.messages import (
+    build_reg_read_request,
+    build_reg_write_request,
+)
+from repro.crypto.prng import XorShiftPrng
+from repro.dataplane.packet import Packet
+from repro.net.network import Network
+
+ResponseCallback = Callable[[bool, int], None]
+
+
+@dataclass
+class AlertRecord:
+    """One alert received from a data plane."""
+
+    time: float
+    switch: str
+    code: AlertCode
+    detail: int
+
+
+@dataclass
+class TamperRecord:
+    """A response whose digest failed verification at the controller."""
+
+    time: float
+    switch: str
+    seq_num: int
+    reason: str
+
+
+@dataclass
+class RctSample:
+    """One completed request's timing, for Fig 18/19."""
+
+    kind: str  # "read" | "write"
+    switch: str
+    rct_s: float
+    ok: bool
+
+
+@dataclass
+class ControllerStats:
+    requests_sent: int = 0
+    acks_received: int = 0
+    nacks_received: int = 0
+    tampered_responses: int = 0
+    alerts_received: int = 0
+    unsolicited_responses: int = 0
+    #: nAcks for requests this controller never sent — a strong signal
+    #: that someone is injecting forged messages at the data plane.
+    unsolicited_nacks: int = 0
+    dos_suspected: bool = False
+    rct_samples: List[RctSample] = field(default_factory=list)
+
+
+@dataclass
+class _Pending:
+    kind: str
+    switch: str
+    reg_name: str
+    sent_at: float
+    callback: Optional[ResponseCallback]
+
+
+class P4AuthController:
+    """The logically centralized controller of the P4Auth deployment."""
+
+    def __init__(self, network: Network, algorithm: str = "halfsiphash",
+                 seed: int = 0xC0FFEE, outstanding_threshold: int = 1000,
+                 encrypt_regops: bool = False):
+        self.network = network
+        self.sim = network.sim
+        self.costs = network.costs
+        self.digest = DigestEngine(algorithm=algorithm)
+        self.keys = ControllerKeyStore()
+        self.prng = XorShiftPrng(seed)
+        self.stats = ControllerStats()
+        self.alerts: List[AlertRecord] = []
+        self.tamper_events: List[TamperRecord] = []
+        self.outstanding_threshold = outstanding_threshold
+        #: Encrypt register-op values end to end (the §XI extension);
+        #: the matching switches must set P4AuthConfig.encrypt_regops.
+        self.encrypt_regops = encrypt_regops
+        self.on_tamper: List[Callable[[TamperRecord], None]] = []
+        self.on_alert: List[Callable[[AlertRecord], None]] = []
+        self._seq: Dict[str, int] = {}
+        self._pending: Dict[Tuple[str, int], _Pending] = {}
+        self._reg_ids: Dict[str, Dict[str, int]] = {}
+        self.dataplanes: Dict[str, P4AuthDataplane] = {}
+        network.attach_controller(self)
+        # Constructed here to avoid exposing two objects users must wire up.
+        from repro.core.kmp import KeyManagementProtocol
+        self.kmp = KeyManagementProtocol(self)
+
+    # ------------------------------------------------------------------
+    # provisioning
+    # ------------------------------------------------------------------
+
+    def provision(self, dataplane: P4AuthDataplane) -> None:
+        """Register a switch: share K_seed and learn its register ids.
+
+        Mirrors switch bootup: K_seed rides in the P4 binary, and the
+        compiler's p4info output gives the controller the register-id map.
+        """
+        name = dataplane.switch.name
+        self.keys.set_seed(name, dataplane.k_seed)
+        self._reg_ids[name] = {
+            reg_name: reg_id
+            for reg_id, reg_name in dataplane.switch.registers.id_map().items()
+        }
+        self._seq.setdefault(name, 1)
+        self.dataplanes[name] = dataplane
+        self.kmp.observe_dataplane(dataplane)
+
+    def refresh_p4info(self, switch: str) -> None:
+        """Re-read a provisioned switch's register-id map.
+
+        Needed when program registers are declared after provisioning
+        (e.g., a pipeline reconfiguration).
+        """
+        dataplane = self.dataplanes[switch]
+        self._reg_ids[switch] = {
+            reg_name: reg_id
+            for reg_id, reg_name in dataplane.switch.registers.id_map().items()
+        }
+
+    def register_id(self, switch: str, reg_name: str) -> int:
+        try:
+            return self._reg_ids[switch][reg_name]
+        except KeyError:
+            raise KeyError(
+                f"switch {switch!r} has no register {reg_name!r} "
+                "(is it provisioned?)"
+            ) from None
+
+    def next_seq(self, switch: str) -> int:
+        seq = self._seq[switch]
+        self._seq[switch] = (seq + 1) & 0xFFFFFFFF
+        return seq
+
+    # ------------------------------------------------------------------
+    # authenticated register operations (Fig 8)
+    # ------------------------------------------------------------------
+
+    def read_register(self, switch: str, reg_name: str, index: int,
+                      callback: Optional[ResponseCallback] = None) -> int:
+        """Issue an authenticated ``readReq``; returns its seq number.
+
+        ``callback(ok, value)`` fires when the (verified) response
+        arrives.  A tampered response never reaches the callback — it is
+        recorded as a :class:`TamperRecord` instead.
+        """
+        seq = self.next_seq(switch)
+        request = build_reg_read_request(
+            self.register_id(switch, reg_name), index, seq,
+            key_ver=self.keys.local_key_version(switch),
+        )
+        if self.encrypt_regops:
+            request.get(P4AUTH)["flags"] = FLAG_ENCRYPTED
+        self._dispatch_request("read", switch, reg_name, seq, request,
+                               callback, self.costs.compose_read_s)
+        return seq
+
+    def write_register(self, switch: str, reg_name: str, index: int,
+                       value: int,
+                       callback: Optional[ResponseCallback] = None) -> int:
+        """Issue an authenticated ``writeReq``; returns its seq number."""
+        seq = self.next_seq(switch)
+        key_ver = self.keys.local_key_version(switch)
+        if self.encrypt_regops:
+            session = derive_session_keys(self.keys.local_key(switch, key_ver))
+            value = encrypt_value(session, seq, value)
+        request = build_reg_write_request(
+            self.register_id(switch, reg_name), index, value, seq,
+            key_ver=key_ver,
+        )
+        if self.encrypt_regops:
+            request.get(P4AUTH)["flags"] = FLAG_ENCRYPTED
+        self._dispatch_request("write", switch, reg_name, seq, request,
+                               callback, self.costs.compose_write_s)
+        return seq
+
+    def _dispatch_request(self, kind: str, switch: str, reg_name: str,
+                          seq: int, request: Packet,
+                          callback: Optional[ResponseCallback],
+                          compose_cost: float) -> None:
+        self.digest.sign(self.keys.local_key(switch), request)
+        self._pending[(switch, seq)] = _Pending(
+            kind, switch, reg_name, self.sim.now, callback
+        )
+        self.stats.requests_sent += 1
+        if len(self._pending) > self.outstanding_threshold:
+            self.stats.dos_suspected = True
+        self.sim.schedule(
+            compose_cost + self.costs.controller_digest_s,
+            self.network.send_packet_out, switch, request,
+        )
+
+    def outstanding_count(self) -> int:
+        return len(self._pending)
+
+    def unacknowledged_seqs(self, switch: str) -> List[int]:
+        """Sequence numbers sent but not yet answered (§VIII DoS defense)."""
+        return sorted(seq for (name, seq) in self._pending if name == switch)
+
+    # ------------------------------------------------------------------
+    # PacketIn handling
+    # ------------------------------------------------------------------
+
+    def handle_packet_in(self, switch: str, packet: Packet) -> None:
+        """Entry point the network calls for every PacketIn message."""
+        if not packet.has(P4AUTH):
+            self.stats.unsolicited_responses += 1
+            return
+        hdr = packet.get(P4AUTH)
+        hdr_type = hdr["hdrType"]
+        if hdr_type == HdrType.REGISTER_OP:
+            self._handle_reg_response(switch, packet, hdr)
+        elif hdr_type == HdrType.ALERT:
+            self._handle_alert(switch, packet, hdr)
+        elif hdr_type == HdrType.KEY_EXCHANGE:
+            self.kmp.handle_message(switch, packet)
+        else:
+            self.stats.unsolicited_responses += 1
+
+    def _handle_reg_response(self, switch: str, packet: Packet, hdr) -> None:
+        key = self.keys.local_key(switch, hdr["keyVer"])
+        if not self.digest.verify(key, packet):
+            self._record_tamper(switch, hdr["seqNum"],
+                               "register response digest mismatch")
+            return
+        seq = hdr["seqNum"]
+        pending = self._pending.pop((switch, seq), None)
+        if pending is None:
+            # An authenticated duplicate (replayed response) or a response
+            # to a request we gave up on — or, for nAcks, fallout from an
+            # adversary injecting forged requests at the data plane.
+            self.stats.unsolicited_responses += 1
+            if hdr["msgType"] == RegOpType.NACK:
+                self.stats.unsolicited_nacks += 1
+            return
+        ok = hdr["msgType"] == RegOpType.ACK
+        value = packet.get(REG_OP)["value"]
+        if hdr["flags"] & FLAG_ENCRYPTED:
+            session = derive_session_keys(
+                self.keys.local_key(switch, hdr["keyVer"]))
+            value = encrypt_value(session, seq, value, response=True)
+        if ok:
+            self.stats.acks_received += 1
+        else:
+            self.stats.nacks_received += 1
+        # Response verification costs one controller-side digest.
+        rct = (self.sim.now + self.costs.controller_digest_s) - pending.sent_at
+        self.stats.rct_samples.append(
+            RctSample(pending.kind, switch, rct, ok)
+        )
+        if pending.callback is not None:
+            self.sim.schedule(self.costs.controller_digest_s,
+                              pending.callback, ok, value)
+
+    def _handle_alert(self, switch: str, packet: Packet, hdr) -> None:
+        # Alerts are signed with the best key the DP had at the time
+        # (local key, falling back to K_auth, falling back to K_seed).
+        candidates = []
+        if self.keys.has_local_key(switch):
+            candidates.append(self.keys.local_key(switch, hdr["keyVer"]))
+        if self.keys.has_auth_key(switch):
+            candidates.append(self.keys.auth_key(switch))
+        candidates.append(self.keys.seed(switch))
+        if not any(self.digest.verify(key, packet) for key in candidates):
+            self._record_tamper(switch, hdr["seqNum"], "alert digest mismatch")
+            return
+        payload = packet.get(ALERT)
+        record = AlertRecord(
+            self.sim.now, switch, AlertCode(payload["code"]), payload["detail"]
+        )
+        self.alerts.append(record)
+        self.stats.alerts_received += 1
+        for hook in self.on_alert:
+            hook(record)
+
+    def _record_tamper(self, switch: str, seq: int, reason: str) -> None:
+        record = TamperRecord(self.sim.now, switch, seq, reason)
+        self.tamper_events.append(record)
+        self.stats.tampered_responses += 1
+        for hook in self.on_tamper:
+            hook(record)

@@ -1,0 +1,94 @@
+"""Digest-width cost model (paper §XI, "Digest size and computation
+overhead").
+
+The paper discusses scaling the 32-bit digest up: "as the digest size
+increases (e.g., 64-bit to 256-bit), the digest computation and
+verification require more compute cycles (multiplied by a factor of 2)
+and more hardware resources.  For instance, compared to a 32-bit digest,
+the hash distribution units and the pipeline stages required for a
+256-bit digest are increased by 560% and 100%, respectively.  More
+pipeline stages mean more packet recirculations, which increases C-DP and
+DP-DP authentication time (100s of ns per recirculation)."
+
+This module turns that paragraph into a model: Tofino computes 32 bits
+per hash-unit pass, so a w-bit digest needs ``w/32`` lanes; each doubling
+costs a compute-cycle factor of 2; lanes beyond what one stage's hash
+units can feed spill into extra pipeline stages, and stages beyond the
+physical pipeline recirculate the packet at ~100s of ns per pass.  The
+constants are anchored to the paper's two data points (560% hash units
+and 100% stages at 256 bits) — asserted by the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+#: Hash units one 32-bit digest lane consumes (the Table II calibration).
+BASE_UNITS_PER_OP = 14
+#: Hash-unit lanes a single stage group can feed for one digest op.
+LANES_PER_STAGE_GROUP = 4
+#: Digest stages available before the packet must recirculate.
+BASE_DIGEST_STAGES = 2
+#: Cost of one recirculation pass (the paper: "100s of ns").
+RECIRCULATION_NS = 300.0
+#: Per-lane compute cost at 32 bits (ns), from the Fig 18/19 calibration
+#: (4.4 us per digest op spread over the op's lanes on BMv2 scale; Tofino
+#: hides most of it in the pipeline — only the relative growth matters).
+BASE_LANE_NS = 20.0
+
+SUPPORTED_WIDTHS = (32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class DigestWidthCost:
+    """Resource/latency consequences of one digest width."""
+
+    width_bits: int
+    lanes: int
+    hash_units: int
+    stages: int
+    recirculations: int
+    extra_latency_ns: float
+
+    def hash_unit_increase_pct(self, base: "DigestWidthCost") -> float:
+        return 100.0 * (self.hash_units - base.hash_units) / base.hash_units
+
+    def stage_increase_pct(self, base: "DigestWidthCost") -> float:
+        return 100.0 * (self.stages - base.stages) / base.stages
+
+
+def digest_width_cost(width_bits: int) -> DigestWidthCost:
+    """Price one digest width against the stage/hash-unit model."""
+    if width_bits not in SUPPORTED_WIDTHS:
+        raise ValueError(f"width must be one of {SUPPORTED_WIDTHS}")
+    lanes = width_bits // 32
+    # Wider digests chain lanes; each doubling costs 2x compute but the
+    # crossbar amortizes some input wiring: units grow by 1.65x per
+    # doubling, anchored so 256 bits lands at +560% (the paper's figure).
+    doublings = int(math.log2(lanes))
+    hash_units = round(BASE_UNITS_PER_OP * (1.88 ** doublings))
+    stage_groups = math.ceil(lanes / LANES_PER_STAGE_GROUP)
+    stages = BASE_DIGEST_STAGES * stage_groups
+    recirculations = max(0, stage_groups - 1)
+    extra_latency_ns = (lanes * BASE_LANE_NS
+                        + recirculations * RECIRCULATION_NS)
+    return DigestWidthCost(
+        width_bits=width_bits,
+        lanes=lanes,
+        hash_units=hash_units,
+        stages=stages,
+        recirculations=recirculations,
+        extra_latency_ns=extra_latency_ns,
+    )
+
+
+def width_sweep() -> List[DigestWidthCost]:
+    """All supported widths, for the ablation bench."""
+    return [digest_width_cost(width) for width in SUPPORTED_WIDTHS]
+
+
+def brute_force_trials(width_bits: int) -> int:
+    """Expected digest-guessing trials (the security side of the trade)."""
+    return 1 << (width_bits - 1)

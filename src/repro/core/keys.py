@@ -1,0 +1,224 @@
+"""Key storage, on both ends of the protocol.
+
+Data plane (paper §VII): "We define a register with N+1 entries to store
+the local key and N port keys, where N is the number of ports.  The local
+key is stored at index zero, and port keys at port number as the index."
+For consistent key updates (§VI-C) the data plane keeps *two* versions of
+each key (old/new) — realized as two register arrays — and messages carry
+the version tag that authenticated them.
+
+Controller: per-switch seed/auth/local keys.  Note the controller never
+holds *port* keys: it redirects the port-key ADHKD exchange but, thanks to
+DH, cannot derive the resulting K_port — a property the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.constants import KEY_VERSIONS
+from repro.dataplane.registers import RegisterFile
+
+LOCAL_KEY_INDEX = 0
+
+
+@dataclass
+class VersionedKey:
+    """A key with two slots and an active version pointer."""
+
+    slots: list = field(default_factory=lambda: [0, 0])
+    active_version: int = 0
+
+    def current(self) -> int:
+        return self.slots[self.active_version]
+
+    def by_version(self, version: int) -> int:
+        return self.slots[version % KEY_VERSIONS]
+
+    def install(self, key: int) -> int:
+        """Write the new key into the inactive slot and flip to it.
+
+        The very first install occupies the current (empty) slot without
+        flipping, so version counters start at 0 on both endpoints and
+        stay in lockstep thereafter.  Returns the new active version,
+        which senders tag messages with.
+        """
+        if self.slots[self.active_version] == 0:
+            self.slots[self.active_version] = key
+            return self.active_version
+        new_version = (self.active_version + 1) % KEY_VERSIONS
+        self.slots[new_version] = key
+        self.active_version = new_version
+        return new_version
+
+    def install_at(self, key: int, version: int) -> int:
+        """Install into an explicit version slot and make it active.
+
+        Used when the protocol dictates the slot (the version is derived
+        from the authenticated exchange messages), so the two endpoints
+        cannot drift even if one of them completed an attempt the other
+        never saw.
+        """
+        version %= KEY_VERSIONS
+        self.slots[version] = key
+        self.active_version = version
+        return version
+
+
+class DataplaneKeyStore:
+    """The switch-resident key registers.
+
+    Two 64-bit register arrays of N+1 entries (one per key version); the
+    local key lives at index 0 and each port key at its port index.
+    """
+
+    #: Bit layout of the ``p4auth_key_version`` register: bit 0 holds the
+    #: active version pointer; bit 1 holds the port's exchange-direction
+    #: bit (0 = this side initiated, 1 = responded) used to disambiguate
+    #: stream-cipher nonces across a link's two directions.
+    _VERSION_BIT = 0x1
+    _DIRECTION_BIT = 0x2
+
+    def __init__(self, registers: RegisterFile, num_ports: int):
+        self.num_ports = num_ports
+        size = num_ports + 1
+        self._key_regs = [
+            registers.define(f"p4auth_keys_v{v}", 64, size)
+            for v in range(KEY_VERSIONS)
+        ]
+        self._active = registers.define("p4auth_key_version", 8, size)
+
+    # -- generic access ----------------------------------------------------
+
+    def get(self, index: int, version: Optional[int] = None) -> int:
+        """Key at a register index; the active version unless specified."""
+        if version is None:
+            version = self.active_version(index)
+        return self._key_regs[version % KEY_VERSIONS].read(index)
+
+    def install(self, index: int, key: int) -> int:
+        """Two-version consistent install; returns the new version tag.
+
+        As in :class:`VersionedKey`, the first install of a slot occupies
+        the current (empty) version without flipping.
+        """
+        current = self.active_version(index)
+        if self._key_regs[current].read(index) == 0:
+            self._key_regs[current].write(index, key)
+            return current
+        new_version = (current + 1) % KEY_VERSIONS
+        self._key_regs[new_version].write(index, key)
+        self._write_version(index, new_version)
+        return new_version
+
+    def install_at(self, index: int, key: int, version: int) -> int:
+        """Install into an explicit version slot and make it active
+        (see :meth:`VersionedKey.install_at`)."""
+        version %= KEY_VERSIONS
+        self._key_regs[version].write(index, key)
+        self._write_version(index, version)
+        return version
+
+    def active_version(self, index: int) -> int:
+        return self._active.read(index) & self._VERSION_BIT
+
+    def _write_version(self, index: int, version: int) -> None:
+        word = self._active.read(index)
+        self._active.write(index,
+                           (word & ~self._VERSION_BIT & 0xFF) | version)
+
+    # -- exchange-direction bit (packed into the version register) ----------
+
+    def port_direction(self, port: int) -> int:
+        """0 = this side initiated the port-key exchange, 1 = responded."""
+        return 1 if self._active.read(port) & self._DIRECTION_BIT else 0
+
+    def set_port_direction(self, port: int, direction: int) -> None:
+        word = self._active.read(port)
+        if direction:
+            word |= self._DIRECTION_BIT
+        else:
+            word &= ~self._DIRECTION_BIT & 0xFF
+        self._active.write(port, word)
+
+    # -- semantic accessors ----------------------------------------------------
+
+    def local_key(self, version: Optional[int] = None) -> int:
+        return self.get(LOCAL_KEY_INDEX, version)
+
+    def set_local_key(self, key: int) -> int:
+        return self.install(LOCAL_KEY_INDEX, key)
+
+    def port_key(self, port: int, version: Optional[int] = None) -> int:
+        if not 1 <= port <= self.num_ports:
+            raise IndexError(f"port {port} out of range 1..{self.num_ports}")
+        return self.get(port, version)
+
+    def set_port_key(self, port: int, key: int) -> int:
+        if not 1 <= port <= self.num_ports:
+            raise IndexError(f"port {port} out of range 1..{self.num_ports}")
+        return self.install(port, key)
+
+    def has_port_key(self, port: int) -> bool:
+        """True if the port has a nonzero key (zero = unprotected edge)."""
+        return 1 <= port <= self.num_ports and self.port_key(port) != 0
+
+
+class ControllerKeyStore:
+    """The controller's per-switch key material."""
+
+    def __init__(self):
+        self._seed: Dict[str, int] = {}
+        self._auth: Dict[str, int] = {}
+        self._local: Dict[str, VersionedKey] = {}
+
+    # -- seed (pre-shared at switch boot, baked into the P4 binary) ---------
+
+    def set_seed(self, switch: str, k_seed: int) -> None:
+        self._seed[switch] = k_seed
+
+    def seed(self, switch: str) -> int:
+        if switch not in self._seed:
+            raise KeyError(f"no K_seed provisioned for switch {switch!r}")
+        return self._seed[switch]
+
+    # -- authentication key (from EAK) ----------------------------------------
+
+    def set_auth_key(self, switch: str, k_auth: int) -> None:
+        self._auth[switch] = k_auth
+
+    def auth_key(self, switch: str) -> int:
+        if switch not in self._auth:
+            raise KeyError(f"no K_auth established with switch {switch!r}")
+        return self._auth[switch]
+
+    def has_auth_key(self, switch: str) -> bool:
+        return switch in self._auth
+
+    # -- local key (from ADHKD), versioned --------------------------------------
+
+    def install_local_key(self, switch: str, k_local: int) -> int:
+        entry = self._local.setdefault(switch, VersionedKey())
+        return entry.install(k_local)
+
+    def install_local_key_at(self, switch: str, k_local: int,
+                             version: int) -> int:
+        entry = self._local.setdefault(switch, VersionedKey())
+        return entry.install_at(k_local, version)
+
+    def local_key(self, switch: str, version: Optional[int] = None) -> int:
+        if switch not in self._local:
+            raise KeyError(f"no K_local established with switch {switch!r}")
+        entry = self._local[switch]
+        if version is None:
+            return entry.current()
+        return entry.by_version(version)
+
+    def local_key_version(self, switch: str) -> int:
+        if switch not in self._local:
+            raise KeyError(f"no K_local established with switch {switch!r}")
+        return self._local[switch].active_version
+
+    def has_local_key(self, switch: str) -> bool:
+        return switch in self._local

@@ -1,0 +1,533 @@
+"""Key management protocol — the controller side (paper §VI-C, Fig 14).
+
+Four operations, realized with the EAK/ADHKD message flows:
+
+- **local key init** (switch boot): EAK with K_seed derives K_auth, then
+  ADHKD authenticated with K_auth derives K_local.  4 messages.
+- **local key update** (rollover): ADHKD authenticated with the current
+  K_local.  2 messages.
+- **port key init** (port activation): controller sends ``portKeyInit``;
+  the two data planes run ADHKD *redirected through the controller*
+  (``initKeyExch``), each leg authenticated with the respective local
+  key.  5 messages.  Thanks to DH, the controller relays the exchange but
+  never learns the resulting K_port.
+- **port key update**: controller sends ``portKeyUpdate``; the data
+  planes run ADHKD directly over their link, authenticated with the
+  current K_port.  3 messages (1 C-DP + 2 DP-DP).
+
+The class also automates the paper's F3 requirement: topology-driven key
+establishment (LLDP-style port events) and periodic rollover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.constants import (
+    ADHKD,
+    EAK,
+    P4AUTH,
+    HdrType,
+    KeyExchType,
+)
+from repro.core.exchange import AdhkdEndpoint, EakEndpoint
+from repro.core.messages import (
+    build_adhkd_message,
+    build_eak_message,
+    build_keyctl_message,
+)
+from repro.dataplane.packet import Packet
+
+DoneCallback = Callable[["KmpOpRecord"], None]
+
+
+@dataclass
+class KmpOpRecord:
+    """One completed key-management operation (a Fig 20 / Table III row)."""
+
+    op: str  # "local_init" | "local_update" | "port_init" | "port_update"
+    switch: str
+    port: Optional[int]
+    rtt_s: float
+    messages: int
+    bytes: int
+
+
+@dataclass
+class KmpStats:
+    """All completed operations, queryable by operation type."""
+
+    records: List[KmpOpRecord] = field(default_factory=list)
+    failures: List["KmpFailure"] = field(default_factory=list)
+    retries: int = 0
+
+    def rtts(self, op: str) -> List[float]:
+        return [r.rtt_s for r in self.records if r.op == op]
+
+    def mean_rtt(self, op: str) -> float:
+        samples = self.rtts(op)
+        if not samples:
+            raise ValueError(f"no completed {op!r} operations")
+        return sum(samples) / len(samples)
+
+    def message_count(self, op: str) -> int:
+        samples = [r.messages for r in self.records if r.op == op]
+        if not samples:
+            raise ValueError(f"no completed {op!r} operations")
+        return samples[0]
+
+    def byte_count(self, op: str) -> int:
+        samples = [r.bytes for r in self.records if r.op == op]
+        if not samples:
+            raise ValueError(f"no completed {op!r} operations")
+        return samples[0]
+
+    def count(self, op: str) -> int:
+        return sum(1 for r in self.records if r.op == op)
+
+
+@dataclass
+class KmpFailure:
+    """An operation that never completed (lost/tampered messages)."""
+
+    op: str
+    switch: str
+    port: Optional[int]
+    attempts: int
+    gave_up_at: float
+
+
+@dataclass
+class _Exchange:
+    op: str
+    switch: str
+    start: float
+    port: Optional[int] = None
+    peer: Optional[str] = None
+    peer_port: Optional[int] = None
+    eak: Optional[EakEndpoint] = None
+    adhkd: Optional[AdhkdEndpoint] = None
+    on_done: Optional[DoneCallback] = None
+    messages: int = 0
+    bytes: int = 0
+    attempt: int = 1
+    completed: bool = False
+
+
+class KeyManagementProtocol:
+    """Controller-resident KMP engine (owned by P4AuthController)."""
+
+    def __init__(self, controller, retry_timeout_s: float = 0.02,
+                 max_attempts: int = 3):
+        self.c = controller
+        self.stats = KmpStats()
+        #: Give an exchange this long before declaring the attempt lost
+        #: (lost/tampered messages otherwise stall key management forever).
+        self.retry_timeout_s = retry_timeout_s
+        self.max_attempts = max_attempts
+        self._by_seq: Dict[Tuple[str, int], _Exchange] = {}
+        self._by_port: Dict[Tuple[str, int], _Exchange] = {}
+        self._rollover_interval: Optional[float] = None
+        self._automation_enabled = False
+
+    # ------------------------------------------------------------------
+    # dataplane instrumentation (called from controller.provision)
+    # ------------------------------------------------------------------
+
+    def observe_dataplane(self, dataplane) -> None:
+        name = dataplane.switch.name
+        dataplane.on_port_key_installed.append(
+            lambda port, key, now, sw=name: self._port_key_done(sw, port, now)
+        )
+        dataplane.on_local_key_installed.append(
+            lambda key, now, sw=name: None  # completion tracked via MSG2
+        )
+        dataplane.on_dpdp_exchange_sent.append(
+            lambda port, packet, sw=name: self._dpdp_sent(sw, port, packet)
+        )
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+
+    def local_key_init(self, switch: str,
+                       on_done: Optional[DoneCallback] = None,
+                       _attempt: int = 1) -> None:
+        """EAK + ADHKD: establish K_auth then K_local (Fig 14a)."""
+        exchange = _Exchange("local_init", switch, self.c.sim.now,
+                             on_done=on_done, attempt=_attempt)
+        exchange.eak = EakEndpoint(self.c.keys.seed(switch), self.c.prng)
+        salt1 = exchange.eak.start()
+        seq = self.c.next_seq(switch)
+        message = build_eak_message(KeyExchType.EAK_SALT1, salt1, seq)
+        self.c.digest.sign(self.c.keys.seed(switch), message)
+        self._by_seq[(switch, seq)] = exchange
+        self._send(exchange, switch, message)
+        self._watch(exchange,
+                    lambda: self.local_key_init(switch, on_done,
+                                                _attempt + 1))
+
+    def local_key_update(self, switch: str,
+                         on_done: Optional[DoneCallback] = None,
+                         _attempt: int = 1) -> None:
+        """ADHKD under the current K_local: roll to a new K_local (Fig 14b)."""
+        exchange = _Exchange("local_update", switch, self.c.sim.now,
+                             on_done=on_done, attempt=_attempt)
+        self._start_local_adhkd(exchange, switch,
+                                self.c.keys.local_key(switch),
+                                self.c.keys.local_key_version(switch))
+        self._watch(exchange,
+                    lambda: self.local_key_update(switch, on_done,
+                                                  _attempt + 1))
+
+    def port_key_init(self, switch: str, port: int,
+                      on_done: Optional[DoneCallback] = None) -> None:
+        """Redirected ADHKD between two data planes (Fig 14c)."""
+        peer, peer_port = self._peer_of(switch, port)
+        exchange = _Exchange("port_init", switch, self.c.sim.now, port=port,
+                             peer=peer, peer_port=peer_port, on_done=on_done)
+        self._by_port[(switch, port)] = exchange
+        seq = self.c.next_seq(switch)
+        message = build_keyctl_message(KeyExchType.PORT_KEY_INIT, port, seq,
+                                       key_ver=self.c.keys.local_key_version(switch))
+        self.c.digest.sign(self.c.keys.local_key(switch), message)
+        self._send(exchange, switch, message)
+        self._watch(exchange,
+                    lambda: self._retry_port_op("port_init", switch, port,
+                                                on_done, exchange.attempt))
+
+    def port_key_update(self, switch: str, port: int,
+                        on_done: Optional[DoneCallback] = None) -> None:
+        """Direct DP-DP ADHKD under the current K_port (Fig 14d)."""
+        peer, peer_port = self._peer_of(switch, port)
+        exchange = _Exchange("port_update", switch, self.c.sim.now, port=port,
+                             peer=peer, peer_port=peer_port, on_done=on_done)
+        self._by_port[(switch, port)] = exchange
+        seq = self.c.next_seq(switch)
+        message = build_keyctl_message(KeyExchType.PORT_KEY_UPDATE, port, seq,
+                                       key_ver=self.c.keys.local_key_version(switch))
+        self.c.digest.sign(self.c.keys.local_key(switch), message)
+        self._send(exchange, switch, message)
+        self._watch(exchange,
+                    lambda: self._retry_port_op("port_update", switch, port,
+                                                on_done, exchange.attempt))
+
+    # ------------------------------------------------------------------
+    # convenience: bootstrap, rollover, topology automation
+    # ------------------------------------------------------------------
+
+    def switch_links(self) -> List[Tuple[str, int, str, int]]:
+        """All switch-to-switch links as (sw_a, port_a, sw_b, port_b),
+        with the initiator end (lexicographically smaller name) first."""
+        seen = set()
+        result = []
+        for name in self.c.network.switch_names():
+            for port, (peer, peer_port) in self.c.network.neighbor_ports(name).items():
+                key = tuple(sorted([(name, port), (peer, peer_port)]))
+                if key in seen:
+                    continue
+                seen.add(key)
+                if name <= peer:
+                    result.append((name, port, peer, peer_port))
+                else:
+                    result.append((peer, peer_port, name, port))
+        return result
+
+    def bootstrap_all(self, on_done: Optional[Callable[[], None]] = None) -> None:
+        """Initialize local keys for every switch, then every port key."""
+        switches = sorted(self.c.dataplanes)
+        if not switches:
+            if on_done is not None:
+                on_done()
+            return
+        remaining = {"locals": len(switches), "ports": 0}
+
+        def after_port(_record: KmpOpRecord) -> None:
+            remaining["ports"] -= 1
+            if remaining["ports"] == 0 and on_done is not None:
+                on_done()
+
+        def start_ports() -> None:
+            links = self.switch_links()
+            remaining["ports"] = len(links)
+            if not links:
+                if on_done is not None:
+                    on_done()
+                return
+            for sw_a, port_a, _sw_b, _port_b in links:
+                self.port_key_init(sw_a, port_a, on_done=after_port)
+
+        def after_local(_record: KmpOpRecord) -> None:
+            remaining["locals"] -= 1
+            if remaining["locals"] == 0:
+                start_ports()
+
+        for switch in switches:
+            self.local_key_init(switch, on_done=after_local)
+
+    def schedule_rollover(self, interval_s: float) -> None:
+        """Periodically update every local and port key (§VIII key-size
+        mitigation: roll keys well inside brute-force time)."""
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self._rollover_interval = interval_s
+        self.c.sim.schedule(interval_s, self._rollover_tick)
+
+    def cancel_rollover(self) -> None:
+        self._rollover_interval = None
+
+    def _rollover_tick(self) -> None:
+        if self._rollover_interval is None:
+            return
+        for switch in sorted(self.c.dataplanes):
+            if self.c.keys.has_local_key(switch):
+                self.local_key_update(switch)
+        for sw_a, port_a, _sw_b, _port_b in self.switch_links():
+            dataplane = self.c.dataplanes.get(sw_a)
+            if dataplane is not None and dataplane.keys.has_port_key(port_a):
+                self.port_key_update(sw_a, port_a)
+        self.c.sim.schedule(self._rollover_interval, self._rollover_tick)
+
+    def enable_topology_automation(self) -> None:
+        """React to LLDP-style port events: key init on port-up (F3)."""
+        if self._automation_enabled:
+            return
+        self._automation_enabled = True
+        self.c.network.on_port_status(self._on_port_status)
+
+    def _on_port_status(self, switch: str, port: int, up: bool) -> None:
+        if not up:
+            return
+        try:
+            peer, _peer_port = self._peer_of(switch, port)
+        except KeyError:
+            return
+        # Only the lexicographically smaller endpoint initiates, so a
+        # single link-up event doesn't trigger two racing exchanges.
+        if switch > peer:
+            return
+        if (self.c.keys.has_local_key(switch)
+                and self.c.keys.has_local_key(peer)):
+            self.port_key_init(switch, port)
+
+    # ------------------------------------------------------------------
+    # message handling (dispatched from controller.handle_packet_in)
+    # ------------------------------------------------------------------
+
+    def handle_message(self, switch: str, packet: Packet) -> None:
+        hdr = packet.get(P4AUTH)
+        msg_type = hdr["msgType"]
+        if msg_type == KeyExchType.EAK_SALT2:
+            self._handle_eak_salt2(switch, packet, hdr)
+        elif msg_type == KeyExchType.ADHKD_MSG1:
+            self._handle_redirected_msg1(switch, packet, hdr)
+        elif msg_type == KeyExchType.UPD_MSG2:
+            self._handle_local_msg2(switch, packet, hdr)
+        elif msg_type == KeyExchType.ADHKD_MSG2:
+            if hdr["flags"] == 0:
+                self._handle_local_msg2(switch, packet, hdr)
+            else:
+                self._handle_redirected_msg2(switch, packet, hdr)
+        else:
+            self.c.stats.unsolicited_responses += 1
+
+    def _handle_eak_salt2(self, switch: str, packet: Packet, hdr) -> None:
+        exchange = self._by_seq.pop((switch, hdr["seqNum"]), None)
+        if exchange is None or exchange.eak is None:
+            self.c.stats.unsolicited_responses += 1
+            return
+        if not self.c.digest.verify(self.c.keys.seed(switch), packet):
+            self.c._record_tamper(switch, hdr["seqNum"],
+                                  "EAK salt2 digest mismatch")
+            return
+        self._count_recv(exchange, packet)
+        k_auth = exchange.eak.finish(packet.get(EAK)["salt"])
+        self.c.keys.set_auth_key(switch, k_auth)
+        # Continue straight into ADHKD, authenticated with K_auth.
+        self._start_local_adhkd(exchange, switch, k_auth, key_ver=0)
+
+    def _start_local_adhkd(self, exchange: _Exchange, switch: str,
+                           auth_key: int, key_ver: int) -> None:
+        exchange.adhkd = AdhkdEndpoint(self.c.prng)
+        pk1, salt1 = exchange.adhkd.start()
+        seq = self.c.next_seq(switch)
+        # Fig 14 distinguishes initKeyExch (K_auth) from updKeyExch
+        # (current K_local); the distinct message type also lets a
+        # retried initialization re-run cleanly after the DP completed a
+        # half-finished attempt.
+        msg_type = (KeyExchType.ADHKD_MSG1 if exchange.op == "local_init"
+                    else KeyExchType.UPD_MSG1)
+        message = build_adhkd_message(msg_type, pk1, salt1, seq,
+                                      key_ver=key_ver)
+        self.c.digest.sign(auth_key, message)
+        self._by_seq[(switch, seq)] = exchange
+        self._send(exchange, switch, message)
+
+    def _handle_local_msg2(self, switch: str, packet: Packet, hdr) -> None:
+        exchange = self._by_seq.pop((switch, hdr["seqNum"]), None)
+        if exchange is None or exchange.adhkd is None:
+            self.c.stats.unsolicited_responses += 1
+            return
+        if exchange.op == "local_init":
+            key = self.c.keys.auth_key(switch)
+        else:
+            key = self.c.keys.local_key(switch, hdr["keyVer"])
+        if not self.c.digest.verify(key, packet):
+            self.c._record_tamper(switch, hdr["seqNum"],
+                                  "local-key ADHKD msg2 digest mismatch")
+            return
+        self._count_recv(exchange, packet)
+        payload = packet.get(ADHKD)
+        master = exchange.adhkd.finish(payload["pk"], payload["salt"])
+        if exchange.op == "local_init":
+            # Initialization always (re)occupies version 0 (see the DP
+            # side) so retried bootstraps cannot drift version counters.
+            self.c.keys.install_local_key_at(switch, master, 0)
+        else:
+            self.c.keys.install_local_key_at(switch, master,
+                                             hdr["keyVer"] + 1)
+        self._complete(exchange)
+
+    def _handle_redirected_msg1(self, switch: str, packet: Packet, hdr) -> None:
+        """MSG1 from the initiating DP of a port-key init; relay to peer."""
+        port = hdr["flags"]
+        exchange = self._by_port.get((switch, port))
+        if exchange is None or exchange.op != "port_init":
+            self.c.stats.unsolicited_responses += 1
+            return
+        if not self.c.digest.verify(
+                self.c.keys.local_key(switch, hdr["keyVer"]), packet):
+            self.c._record_tamper(switch, hdr["seqNum"],
+                                  "redirected ADHKD msg1 digest mismatch")
+            return
+        self._count_recv(exchange, packet)
+        payload = packet.get(ADHKD)
+        peer, peer_port = exchange.peer, exchange.peer_port
+        seq = self.c.next_seq(peer)
+        relay = build_adhkd_message(
+            KeyExchType.ADHKD_MSG1, payload["pk"], payload["salt"], seq,
+            key_ver=self.c.keys.local_key_version(peer),
+        )
+        relay.get(P4AUTH)["flags"] = peer_port
+        self.c.digest.sign(self.c.keys.local_key(peer), relay)
+        self._by_seq[(peer, seq)] = exchange
+        # Relay cost: one verify + one sign at the controller.
+        self._send(exchange, peer, relay,
+                   delay=2 * self.c.costs.controller_digest_s)
+
+    def _handle_redirected_msg2(self, switch: str, packet: Packet, hdr) -> None:
+        """MSG2 from the responding DP; relay back to the initiator DP."""
+        exchange = self._by_seq.pop((switch, hdr["seqNum"]), None)
+        if exchange is None or exchange.op != "port_init":
+            self.c.stats.unsolicited_responses += 1
+            return
+        if not self.c.digest.verify(
+                self.c.keys.local_key(switch, hdr["keyVer"]), packet):
+            self.c._record_tamper(switch, hdr["seqNum"],
+                                  "redirected ADHKD msg2 digest mismatch")
+            return
+        self._count_recv(exchange, packet)
+        payload = packet.get(ADHKD)
+        initiator = exchange.switch
+        seq = self.c.next_seq(initiator)
+        relay = build_adhkd_message(
+            KeyExchType.ADHKD_MSG2, payload["pk"], payload["salt"], seq,
+            key_ver=self.c.keys.local_key_version(initiator),
+        )
+        relay.get(P4AUTH)["flags"] = exchange.port
+        self.c.digest.sign(self.c.keys.local_key(initiator), relay)
+        self._send(exchange, initiator, relay,
+                   delay=2 * self.c.costs.controller_digest_s)
+        # Completion is observed via the initiator DP's install hook.
+
+    # ------------------------------------------------------------------
+    # completion & accounting
+    # ------------------------------------------------------------------
+
+    def _port_key_done(self, switch: str, port: int, now: float) -> None:
+        exchange = self._by_port.pop((switch, port), None)
+        if exchange is None:
+            return
+        self._complete(exchange, at=now)
+
+    def _dpdp_sent(self, switch: str, port: int, packet: Packet) -> None:
+        exchange = self._by_port.get((switch, port))
+        if exchange is None:
+            # The peer end of a pending exchange also emits messages.
+            try:
+                peer, peer_port = self._peer_of(switch, port)
+            except KeyError:
+                return
+            exchange = self._by_port.get((peer, peer_port))
+        if exchange is not None:
+            exchange.messages += 1
+            exchange.bytes += packet.size_bytes
+
+    def _watch(self, exchange: _Exchange, restart) -> None:
+        """Re-run the operation if it hasn't completed within the timeout."""
+        self.c.sim.schedule(self.retry_timeout_s, self._check_exchange,
+                            exchange, restart)
+
+    def _check_exchange(self, exchange: _Exchange, restart) -> None:
+        if exchange.completed:
+            return
+        self._purge(exchange)
+        if exchange.attempt >= self.max_attempts:
+            self.stats.failures.append(KmpFailure(
+                exchange.op, exchange.switch, exchange.port,
+                exchange.attempt, self.c.sim.now))
+            return
+        self.stats.retries += 1
+        restart()
+
+    def _retry_port_op(self, op: str, switch: str, port: int,
+                       on_done, prior_attempt: int) -> None:
+        method = (self.port_key_init if op == "port_init"
+                  else self.port_key_update)
+        method(switch, port, on_done=on_done)
+        # Propagate the attempt count onto the fresh exchange.
+        fresh = self._by_port.get((switch, port))
+        if fresh is not None:
+            fresh.attempt = prior_attempt + 1
+
+    def _purge(self, exchange: _Exchange) -> None:
+        """Drop all routing-table references to a stale exchange."""
+        for table in (self._by_seq, self._by_port):
+            stale = [key for key, value in table.items()
+                     if value is exchange]
+            for key in stale:
+                del table[key]
+
+    def _complete(self, exchange: _Exchange, at: Optional[float] = None) -> None:
+        exchange.completed = True
+        record = KmpOpRecord(
+            op=exchange.op,
+            switch=exchange.switch,
+            port=exchange.port,
+            rtt_s=(at if at is not None else self.c.sim.now) - exchange.start,
+            messages=exchange.messages,
+            bytes=exchange.bytes,
+        )
+        self.stats.records.append(record)
+        if exchange.on_done is not None:
+            exchange.on_done(record)
+
+    def _send(self, exchange: _Exchange, switch: str, packet: Packet,
+              delay: Optional[float] = None) -> None:
+        exchange.messages += 1
+        exchange.bytes += packet.size_bytes
+        self.c.sim.schedule(
+            delay if delay is not None else self.c.costs.controller_digest_s,
+            self.c.network.send_packet_out, switch, packet,
+        )
+
+    def _count_recv(self, exchange: _Exchange, packet: Packet) -> None:
+        exchange.messages += 1
+        exchange.bytes += packet.size_bytes
+
+    def _peer_of(self, switch: str, port: int) -> Tuple[str, int]:
+        neighbors = self.c.network.neighbor_ports(switch)
+        if port not in neighbors:
+            raise KeyError(f"({switch!r}, port {port}) has no switch neighbor")
+        return neighbors[port]

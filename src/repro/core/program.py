@@ -1,0 +1,93 @@
+"""Compiled-program resource inventories for Table II.
+
+The paper's evaluation base is "a P4 program that performs destination-
+based layer-3 port forwarding with two match-action tables and one
+register" (§IX-B); P4Auth's data-plane modules are added on top.  These
+functions build the corresponding :class:`ProgramSpec` inventories.  The
+P4Auth overlay lists *exactly* the state the implementation in
+:mod:`repro.core.auth_dataplane` allocates: ten register arrays (two key
+arrays + version pointer, K_auth, three sequence trackers, two pending-
+exchange arrays, the alert counter), the ``reg_id_to_name_mapping`` table,
+and the hash-unit/PHV claims of the digest, KDF, and protocol headers.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.resources import ProgramSpec
+
+
+def baseline_program_spec() -> ProgramSpec:
+    """Destination-based L3 forwarding: 2 tables + 1 register (§IX-B)."""
+    spec = ProgramSpec("baseline-l3fwd")
+    # IPv4 LPM forwarding: TCAM, 12K prefixes, 64b of action data
+    # (egress port + next-hop id).
+    spec.add_table("ipv4_lpm", key_bits=32, entries=12288, uses_tcam=True,
+                   action_data_bits=64)
+    # Exact-match L2 rewrite: 16K MACs, 80b action data (dst MAC + port).
+    spec.add_table("l2_rewrite", key_bits=48, entries=16384, uses_tcam=False,
+                   action_data_bits=80)
+    # The base program's one register: per-flow packet counters.
+    spec.add_register("flow_stats", width_bits=32, size=8192)
+    # PHV: Ethernet (112b) + IPv4 (160b) + bridged/intrinsic metadata (480b).
+    spec.add_headers("ethernet", 112)
+    spec.add_headers("ipv4", 160)
+    spec.add_headers("intrinsic_metadata", 480)
+    return spec
+
+
+def p4auth_overlay_spec(num_ports: int = 64,
+                        mapped_registers: int = 1) -> ProgramSpec:
+    """The resources P4Auth adds to a program (paper §IX-B, Table II).
+
+    Parameters
+    ----------
+    num_ports:
+        Switch port count M; key registers hold 64*(M+1) bits per version.
+    mapped_registers:
+        K, the number of program registers exposed to C-DP ops; the
+        mapping table holds 2*K entries (capacity is allocated in SRAM
+        block granularity, so small K all land in one block).
+    """
+    spec = ProgramSpec("p4auth-overlay")
+    size = num_ports + 1
+    # The ten register arrays of P4AuthDataplane.
+    spec.add_register("p4auth_keys_v0", 64, size)
+    spec.add_register("p4auth_keys_v1", 64, size)
+    spec.add_register("p4auth_key_version", 8, size)
+    spec.add_register("p4auth_kauth", 64, 1)
+    spec.add_register("p4auth_expected_seq", 32, 1)
+    spec.add_register("p4auth_dp_seq", 32, 1)
+    spec.add_register("p4auth_port_seq", 32, size)
+    spec.add_register("p4auth_pending_r1", 64, size)
+    spec.add_register("p4auth_pending_s1", 64, size)
+    spec.add_register("p4auth_alert_count", 32, 1)
+    # reg_id_to_name_mapping: exact (regId 32b + opType 8b), 40b key,
+    # 32b action data; 2K live entries in a 1024-entry allocation.
+    spec.add_table("reg_id_to_name_mapping", key_bits=40,
+                   entries=max(1024, 2 * mapped_registers),
+                   uses_tcam=False, action_data_bits=32)
+    # Hash distribution units (the dominant cost; Table II: 1.4% -> 51.4%).
+    # Wide keyed digests over header+payload consume many crossbar slices.
+    spec.add_hash("digest_verify", 14)
+    spec.add_hash("digest_sign", 14)
+    spec.add_hash("kdf_prf_extract_expand", 4)  # 2 PRF runs x 2 units
+    spec.add_hash("key_exchange_auth", 2)
+    spec.add_hash("alert_sign", 1)
+    # PHV: protocol headers + P4Auth metadata.
+    spec.add_headers("p4auth_header", 112)       # 14 bytes
+    spec.add_headers("reg_op_payload", 128)
+    spec.add_headers("adhkd_payload", 128)
+    spec.add_headers("eak_payload", 64)
+    spec.add_headers("keyctl_payload", 32)
+    spec.add_headers("alert_payload", 64)
+    spec.add_headers("p4auth_metadata", 288)     # key, digest scratch, verdict
+    return spec
+
+
+def p4auth_program_spec(num_ports: int = 64,
+                        mapped_registers: int = 1) -> ProgramSpec:
+    """Baseline L3 forwarding with the P4Auth overlay applied."""
+    spec = baseline_program_spec()
+    spec.name = "l3fwd-with-p4auth"
+    spec.extend(p4auth_overlay_spec(num_ports, mapped_registers))
+    return spec

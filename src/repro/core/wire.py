@@ -1,0 +1,108 @@
+"""Wire codec: serialize and parse P4Auth messages as byte strings.
+
+:meth:`repro.dataplane.packet.Packet.serialize` already flattens a packet
+to bytes; this module provides the inverse for P4Auth protocol messages,
+reconstructing the header stack from the ``hdrType``/``msgType`` fields —
+i.e., the parser a real P4 program or controller stack would implement.
+Byte counts produced here are exactly the Table III message sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.constants import (
+    ADHKD,
+    ADHKD_HEADER,
+    ALERT,
+    ALERT_HEADER,
+    EAK,
+    EAK_HEADER,
+    KEYCTL,
+    KEYCTL_HEADER,
+    P4AUTH,
+    P4AUTH_HEADER,
+    REG_OP,
+    REG_OP_HEADER,
+    HdrType,
+    KeyExchType,
+)
+from repro.dataplane.headers import HeaderType
+from repro.dataplane.packet import Packet
+
+_KEY_EXCHANGE_PAYLOADS = {
+    int(KeyExchType.EAK_SALT1): (EAK, EAK_HEADER),
+    int(KeyExchType.EAK_SALT2): (EAK, EAK_HEADER),
+    int(KeyExchType.ADHKD_MSG1): (ADHKD, ADHKD_HEADER),
+    int(KeyExchType.ADHKD_MSG2): (ADHKD, ADHKD_HEADER),
+    int(KeyExchType.UPD_MSG1): (ADHKD, ADHKD_HEADER),
+    int(KeyExchType.UPD_MSG2): (ADHKD, ADHKD_HEADER),
+    int(KeyExchType.PORT_KEY_INIT): (KEYCTL, KEYCTL_HEADER),
+    int(KeyExchType.PORT_KEY_UPDATE): (KEYCTL, KEYCTL_HEADER),
+}
+
+
+class WireFormatError(ValueError):
+    """The byte string is not a well-formed P4Auth message."""
+
+
+def _payload_type(hdr) -> Optional[tuple]:
+    hdr_type = hdr["hdrType"]
+    if hdr_type == HdrType.REGISTER_OP:
+        return REG_OP, REG_OP_HEADER
+    if hdr_type == HdrType.ALERT:
+        return ALERT, ALERT_HEADER
+    if hdr_type == HdrType.KEY_EXCHANGE:
+        entry = _KEY_EXCHANGE_PAYLOADS.get(hdr["msgType"])
+        if entry is None:
+            raise WireFormatError(
+                f"unknown key-exchange msgType {hdr['msgType']}")
+        return entry
+    if hdr_type == HdrType.DP_FEEDBACK:
+        return None  # the protected app headers follow, app-defined
+    raise WireFormatError(f"unknown hdrType {hdr_type}")
+
+
+def serialize_message(packet: Packet) -> bytes:
+    """Flatten a P4Auth message to its wire bytes."""
+    if not packet.has(P4AUTH):
+        raise WireFormatError("packet carries no p4auth header")
+    return packet.serialize()
+
+
+def parse_message(data: bytes,
+                  feedback_header: Optional[HeaderType] = None) -> Packet:
+    """Reconstruct a P4Auth protocol message from wire bytes.
+
+    ``feedback_header`` supplies the application header type for
+    ``DP_FEEDBACK`` messages (the parser of the protected in-network
+    system, e.g. the HULA probe header).
+    """
+    if len(data) < P4AUTH_HEADER.byte_width:
+        raise WireFormatError(
+            f"need at least {P4AUTH_HEADER.byte_width} bytes, "
+            f"got {len(data)}")
+    hdr = P4AUTH_HEADER.parse(data)
+    offset = P4AUTH_HEADER.byte_width
+    packet = Packet()
+    packet.push(P4AUTH, hdr)
+    entry = _payload_type(hdr)
+    if entry is not None:
+        name, header_type = entry
+        if len(data) - offset < header_type.byte_width:
+            raise WireFormatError(
+                f"truncated {name} payload: need {header_type.byte_width} "
+                f"bytes, got {len(data) - offset}")
+        if hdr["length"] != header_type.byte_width:
+            raise WireFormatError(
+                f"length field {hdr['length']} does not match "
+                f"{name} payload width {header_type.byte_width}")
+        packet.push(name, header_type.parse(data[offset:]))
+        offset += header_type.byte_width
+    elif feedback_header is not None:
+        if len(data) - offset < feedback_header.byte_width:
+            raise WireFormatError("truncated feedback payload")
+        packet.push(feedback_header.name, feedback_header.parse(data[offset:]))
+        offset += feedback_header.byte_width
+    packet.payload = data[offset:]
+    return packet

@@ -1,0 +1,67 @@
+"""Target externs: hash engines and the random() primitive.
+
+The paper's prototype exposes digest computation as a BMv2 extern
+(``compute_digest``) and uses the native CRC unit on Tofino.  This module
+provides both as :class:`HashExtern` flavors, each counting its
+invocations so the resource/timing models can account for hash-unit usage
+(Table II) and per-digest latency (Fig 18/19/21).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.crypto.crc import Crc32
+from repro.crypto.halfsiphash import HalfSipHash
+from repro.crypto.prng import XorShiftPrng
+
+
+class HashExtern:
+    """A keyed-digest extern with invocation counting.
+
+    ``algorithm`` selects the underlying keyed hash: ``"halfsiphash"``
+    (BMv2 target) or ``"crc32"`` (Tofino target).
+    """
+
+    def __init__(self, algorithm: str = "halfsiphash"):
+        if algorithm == "halfsiphash":
+            self._engine = HalfSipHash()
+            self._compute = self._engine.digest
+        elif algorithm == "crc32":
+            crc = Crc32()
+            self._compute = crc.compute_keyed
+        else:
+            raise ValueError(f"unknown hash algorithm {algorithm!r}")
+        self.algorithm = algorithm
+        self.invocations = 0
+
+    def compute_digest(self, key: int, words: Iterable[int],
+                       word_bits: int = 32) -> int:
+        """The ``compute_digest`` extern: keyed 32-bit digest over words.
+
+        Matches the BMv2 extern signature from §VII: a 64-bit secret key
+        and a variable list of arguments over which the digest is computed.
+        """
+        width = word_bits // 8
+        material = bytearray()
+        for word in words:
+            material += int(word).to_bytes(width, "little")
+        self.invocations += 1
+        return self._compute(key, bytes(material))
+
+    def compute_digest_bytes(self, key: int, data: bytes) -> int:
+        """Keyed 32-bit digest over raw bytes."""
+        self.invocations += 1
+        return self._compute(key, data)
+
+
+class RandomExtern:
+    """P4's ``random()``: uniform values of a declared bit width."""
+
+    def __init__(self, seed: int = 1):
+        self._prng = XorShiftPrng(seed)
+        self.invocations = 0
+
+    def random(self, bits: int = 64) -> int:
+        self.invocations += 1
+        return self._prng.next_bits(bits)

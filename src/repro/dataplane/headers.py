@@ -1,0 +1,130 @@
+"""Header types and instances, mirroring P4 header declarations.
+
+A :class:`HeaderType` declares an ordered list of (field, bit-width) pairs,
+like a P4 ``header`` type.  A :class:`Header` is an instance with concrete
+field values; it serializes to bytes by packing fields big-endian in
+declaration order, which is how the wire format (and therefore message
+byte counts in Table III) is computed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class HeaderType:
+    """An ordered set of fixed-width fields, like a P4 header type."""
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, int]]):
+        if not fields:
+            raise ValueError("header type needs at least one field")
+        self.name = name
+        self.fields: List[Tuple[str, int]] = list(fields)
+        seen = set()
+        total = 0
+        for fname, bits in self.fields:
+            if fname in seen:
+                raise ValueError(f"duplicate field {fname!r} in header {name!r}")
+            if bits <= 0:
+                raise ValueError(f"field {fname!r} must have positive width")
+            seen.add(fname)
+            total += bits
+        if total % 8 != 0:
+            raise ValueError(
+                f"header {name!r} is {total} bits; headers must be byte-aligned"
+            )
+        self.bit_width = total
+
+    @property
+    def byte_width(self) -> int:
+        """Serialized size in bytes."""
+        return self.bit_width // 8
+
+    def field_width(self, field: str) -> int:
+        for fname, bits in self.fields:
+            if fname == field:
+                return bits
+        raise KeyError(f"header {self.name!r} has no field {field!r}")
+
+    def instantiate(self, **values: int) -> "Header":
+        """Create a header instance; unset fields default to zero."""
+        return Header(self, values)
+
+    def parse(self, data: bytes) -> "Header":
+        """Parse a header instance from the front of ``data``."""
+        if len(data) < self.byte_width:
+            raise ValueError(
+                f"need {self.byte_width} bytes to parse {self.name!r}, got {len(data)}"
+            )
+        as_int = int.from_bytes(data[: self.byte_width], "big")
+        values: Dict[str, int] = {}
+        remaining = self.bit_width
+        for fname, bits in self.fields:
+            remaining -= bits
+            values[fname] = (as_int >> remaining) & ((1 << bits) - 1)
+        return Header(self, values)
+
+    def __repr__(self) -> str:
+        return f"HeaderType({self.name!r}, {self.bit_width} bits)"
+
+
+class Header:
+    """A concrete header instance with field values."""
+
+    def __init__(self, header_type: HeaderType, values: Dict[str, int]):
+        self.header_type = header_type
+        self._values: Dict[str, int] = {fname: 0 for fname, _ in header_type.fields}
+        for fname, value in values.items():
+            self[fname] = value
+
+    def __getitem__(self, field: str) -> int:
+        if field not in self._values:
+            raise KeyError(f"header {self.header_type.name!r} has no field {field!r}")
+        return self._values[field]
+
+    def __setitem__(self, field: str, value: int) -> None:
+        bits = self.header_type.field_width(field)
+        if not 0 <= value < (1 << bits):
+            raise ValueError(
+                f"value {value:#x} does not fit field {field!r} ({bits} bits)"
+            )
+        self._values[field] = value
+
+    def fields(self) -> Dict[str, int]:
+        """A copy of the field values."""
+        return dict(self._values)
+
+    def field_words(self, exclude: Iterable[str] = ()) -> List[int]:
+        """Field values in declaration order, optionally excluding some.
+
+        Used by the digest module, which hashes all P4Auth header fields
+        *except* the digest field itself (paper Eqn. 4).
+        """
+        skip = set(exclude)
+        return [
+            self._values[fname]
+            for fname, _ in self.header_type.fields
+            if fname not in skip
+        ]
+
+    def serialize(self) -> bytes:
+        """Pack the header to bytes, big-endian in declaration order."""
+        as_int = 0
+        for fname, bits in self.header_type.fields:
+            as_int = (as_int << bits) | self._values[fname]
+        return as_int.to_bytes(self.header_type.byte_width, "big")
+
+    def copy(self) -> "Header":
+        return Header(self.header_type, dict(self._values))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Header):
+            return NotImplemented
+        return (
+            self.header_type.name == other.header_type.name
+            and self._values == other._values
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:#x}" for k, v in self._values.items())
+        return f"Header({self.header_type.name}: {inner})"

@@ -1,0 +1,244 @@
+"""P4-16 source generation for the P4Auth data plane.
+
+The paper's artifact is a ~400-line P4 program (§VII).  This module emits
+that program's skeleton — headers, parser, registers, the
+``reg_id_to_name_mapping`` table, and the verify/sign control blocks —
+*derived from the same constants the simulator runs on*:
+:data:`~repro.core.constants.P4AUTH_HEADER` drives the header declaration,
+a :class:`~repro.core.auth_dataplane.P4AuthDataplane` instance drives the
+register sizes and mapped-register actions.
+
+The output targets the v1model architecture (the BMv2 flavor of the
+prototype); digest computation appears as the paper's ``compute_digest``
+extern.  It is a faithful structural artifact, not a drop-in compiled
+binary: round-unrolled HalfSipHash bodies are emitted as extern calls,
+exactly as the paper describes the BMv2 implementation.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional
+
+from repro.core.constants import (
+    ADHKD_HEADER,
+    ALERT_HEADER,
+    EAK_HEADER,
+    KEYCTL_HEADER,
+    P4AUTH_HEADER,
+    REG_OP_HEADER,
+    HdrType,
+    KeyExchType,
+    RegOpType,
+)
+from repro.dataplane.headers import HeaderType
+
+_ALL_HEADERS = (P4AUTH_HEADER, REG_OP_HEADER, EAK_HEADER, ADHKD_HEADER,
+                KEYCTL_HEADER, ALERT_HEADER)
+
+
+def _emit_header(out: io.StringIO, header_type: HeaderType) -> None:
+    out.write(f"header {header_type.name}_t {{\n")
+    for fname, bits in header_type.fields:
+        out.write(f"    bit<{bits}> {fname};\n")
+    out.write("}\n\n")
+
+
+def _emit_headers(out: io.StringIO) -> None:
+    out.write("/* -------- protocol headers (Fig 7) -------- */\n\n")
+    for header_type in _ALL_HEADERS:
+        _emit_header(out, header_type)
+    out.write("struct headers_t {\n")
+    out.write("    ethernet_t ethernet;\n")
+    for header_type in _ALL_HEADERS:
+        out.write(f"    {header_type.name}_t {header_type.name};\n")
+    out.write("}\n\n")
+
+
+def _emit_parser(out: io.StringIO) -> None:
+    out.write("/* -------- parser: dispatch on hdrType/msgType -------- */\n\n")
+    out.write(
+        "parser P4AuthParser(packet_in pkt, out headers_t hdr,\n"
+        "                    inout metadata_t meta,\n"
+        "                    inout standard_metadata_t std_meta) {\n"
+        "    state start {\n"
+        "        pkt.extract(hdr.ethernet);\n"
+        "        transition select(hdr.ethernet.etherType) {\n"
+        "            ETHERTYPE_P4AUTH: parse_p4auth;\n"
+        "            default: accept;\n"
+        "        }\n"
+        "    }\n"
+        "    state parse_p4auth {\n"
+        "        pkt.extract(hdr.p4auth);\n"
+        "        transition select(hdr.p4auth.hdrType) {\n"
+        f"            {int(HdrType.REGISTER_OP)}: parse_reg_op;\n"
+        f"            {int(HdrType.ALERT)}: parse_alert;\n"
+        f"            {int(HdrType.KEY_EXCHANGE)}: parse_key_exchange;\n"
+        "            default: accept;\n"
+        "        }\n"
+        "    }\n"
+        "    state parse_reg_op {\n"
+        "        pkt.extract(hdr.reg_op);\n"
+        "        transition accept;\n"
+        "    }\n"
+        "    state parse_alert {\n"
+        "        pkt.extract(hdr.alert);\n"
+        "        transition accept;\n"
+        "    }\n"
+        "    state parse_key_exchange {\n"
+        "        transition select(hdr.p4auth.msgType) {\n"
+        f"            {int(KeyExchType.EAK_SALT1)}: parse_eak;\n"
+        f"            {int(KeyExchType.EAK_SALT2)}: parse_eak;\n"
+        f"            {int(KeyExchType.ADHKD_MSG1)}: parse_adhkd;\n"
+        f"            {int(KeyExchType.ADHKD_MSG2)}: parse_adhkd;\n"
+        f"            {int(KeyExchType.UPD_MSG1)}: parse_adhkd;\n"
+        f"            {int(KeyExchType.UPD_MSG2)}: parse_adhkd;\n"
+        f"            {int(KeyExchType.PORT_KEY_INIT)}: parse_keyctl;\n"
+        f"            {int(KeyExchType.PORT_KEY_UPDATE)}: parse_keyctl;\n"
+        "            default: accept;\n"
+        "        }\n"
+        "    }\n"
+        "    state parse_eak { pkt.extract(hdr.eak); transition accept; }\n"
+        "    state parse_adhkd { pkt.extract(hdr.adhkd); transition accept; }\n"
+        "    state parse_keyctl { pkt.extract(hdr.keyctl); transition accept; }\n"
+        "}\n\n")
+
+
+def _emit_registers(out: io.StringIO, dataplane) -> None:
+    out.write("/* -------- P4Auth state (10 register arrays, SVII) -------- */\n\n")
+    registers = dataplane.switch.registers
+    for name in registers.names():
+        if not name.startswith("p4auth_"):
+            continue
+        register = registers.get(name)
+        out.write(f"register<bit<{register.width_bits}>>({register.size}) "
+                  f"{name};\n")
+    out.write("\n")
+
+
+def _emit_mapping_table(out: io.StringIO, dataplane) -> None:
+    out.write("/* -------- Fig 15: reg_id_to_name_mapping -------- */\n\n")
+    actions: List[str] = sorted(dataplane.mapping_table._actions)
+    for action in actions:
+        target = action.rsplit("_", 1)[0]
+        kind = action.rsplit("_", 1)[1]
+        out.write(f"action {action}() {{\n")
+        if kind == "read":
+            out.write(f"    {target}.read(meta.op_result, "
+                      "(bit<32>)hdr.reg_op.index);\n")
+        else:
+            out.write(f"    {target}.write((bit<32>)hdr.reg_op.index, "
+                      "hdr.reg_op.value);\n")
+        out.write("    meta.op_ok = 1;\n}\n")
+    out.write(
+        "\ntable reg_id_to_name_mapping {\n"
+        "    key = {\n"
+        "        hdr.reg_op.regId: exact;\n"
+        "        hdr.p4auth.msgType: exact;\n"
+        "    }\n"
+        "    actions = {\n")
+    for action in actions:
+        out.write(f"        {action};\n")
+    out.write(
+        "        NoAction;\n"
+        "    }\n"
+        f"    size = {dataplane.mapping_table.max_entries};\n"
+        "    default_action = NoAction();\n"
+        "}\n\n")
+    out.write("/* entries installed at compile/provision time:\n")
+    for entry in dataplane.mapping_table.entries():
+        reg_id, op_type = entry.key
+        kind = "readReq" if op_type == int(RegOpType.READ_REQ) else "writeReq"
+        out.write(f"   ({reg_id}, {kind}) -> {entry.action}\n")
+    out.write("*/\n\n")
+
+
+def _emit_controls(out: io.StringIO) -> None:
+    out.write("/* -------- verify-on-ingress / sign-on-egress -------- */\n\n")
+    out.write(
+        "extern void compute_digest<T>(in bit<64> key, in T data,\n"
+        "                              out bit<32> digest);\n\n"
+        "control P4AuthVerify(inout headers_t hdr, inout metadata_t meta,\n"
+        "                     inout standard_metadata_t std_meta) {\n"
+        "    apply {\n"
+        "        if (hdr.p4auth.isValid()) {\n"
+        "            bit<64> key;\n"
+        "            if (std_meta.ingress_port == CPU_PORT) {\n"
+        "                p4auth_keys_v0.read(key, 0); /* keyVer select */\n"
+        "            } else {\n"
+        "                p4auth_keys_v0.read(key,\n"
+        "                    (bit<32>)std_meta.ingress_port);\n"
+        "            }\n"
+        "            bit<32> expected;\n"
+        "            compute_digest(key, hdr, expected);\n"
+        "            if (expected != hdr.p4auth.digest) {\n"
+        "                meta.p4auth_fail = 1; /* nAck / alert / drop */\n"
+        "            }\n"
+        "            if (meta.p4auth_fail == 0 &&\n"
+        f"                hdr.p4auth.hdrType == {int(HdrType.REGISTER_OP)}) {{\n"
+        "                reg_id_to_name_mapping.apply();\n"
+        "            }\n"
+        "        }\n"
+        "    }\n"
+        "}\n\n"
+        "control P4AuthSign(inout headers_t hdr, inout metadata_t meta,\n"
+        "                   inout standard_metadata_t std_meta) {\n"
+        "    apply {\n"
+        "        if (hdr.p4auth.isValid()) {\n"
+        "            bit<64> key;\n"
+        "            p4auth_keys_v0.read(key,\n"
+        "                (bit<32>)std_meta.egress_port);\n"
+        "            compute_digest(key, hdr, hdr.p4auth.digest);\n"
+        "        }\n"
+        "    }\n"
+        "}\n\n")
+
+
+def generate_p4(dataplane, program_name: str = "p4auth") -> str:
+    """Emit the P4-16 skeleton for a provisioned P4Auth data plane."""
+    out = io.StringIO()
+    out.write(f"/* {program_name}.p4 — generated by repro.dataplane.p4gen\n")
+    out.write(" * P4Auth data plane (paper SVII), v1model architecture.\n")
+    out.write(f" * switch: {dataplane.switch.name}, "
+              f"ports: {dataplane.switch.num_ports}\n */\n\n")
+    out.write("#include <core.p4>\n#include <v1model.p4>\n\n")
+    out.write("#define ETHERTYPE_P4AUTH 0x88B5\n")
+    out.write("#define CPU_PORT 0\n\n")
+    out.write("header ethernet_t {\n"
+              "    bit<48> dstAddr;\n"
+              "    bit<48> srcAddr;\n"
+              "    bit<16> etherType;\n"
+              "}\n\n")
+    out.write("struct metadata_t {\n"
+              "    bit<1>  p4auth_fail;\n"
+              "    bit<1>  op_ok;\n"
+              "    bit<64> op_result;\n"
+              "}\n\n")
+    _emit_headers(out)
+    _emit_registers(out, dataplane)
+    _emit_mapping_table(out, dataplane)
+    _emit_parser(out)
+    _emit_controls(out)
+    out.write("/* V1Switch(P4AuthParser(), verifyChecksum(),\n"
+              " *          P4AuthVerify(), P4AuthSign(),\n"
+              " *          computeChecksum(), deparser()) main; */\n")
+    return out.getvalue()
+
+
+def loc_estimate(source: str) -> int:
+    """Non-blank, non-comment line count (compare with the paper's 400)."""
+    count = 0
+    in_block_comment = False
+    for line in source.splitlines():
+        stripped = line.strip()
+        if in_block_comment:
+            if "*/" in stripped:
+                in_block_comment = False
+            continue
+        if stripped.startswith("/*") and "*/" not in stripped:
+            in_block_comment = True
+            continue
+        if not stripped or stripped.startswith(("//", "/*", "*")):
+            continue
+        count += 1
+    return count

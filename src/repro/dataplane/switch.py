@@ -1,0 +1,123 @@
+"""The data-plane switch: ports, pipeline, registers, tables, externs.
+
+:class:`DataplaneSwitch` is the pure packet-processing machine.  It has no
+notion of time or links — it maps (packet, ingress port) to a list of
+pipeline actions.  The network layer (:mod:`repro.net`) wraps switches in
+nodes that schedule those actions on simulated links and charge
+processing-time costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dataplane.externs import HashExtern, RandomExtern
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import (
+    Pipeline,
+    PipelineAction,
+    PipelineContext,
+    Recirculate,
+)
+from repro.dataplane.registers import RegisterFile
+from repro.dataplane.tables import MatchActionTable
+
+# Safety valve: a P4 program can recirculate, but hardware bounds the
+# number of passes a packet can take.  This mirrors that bound.
+MAX_RECIRCULATIONS = 8
+
+
+class DataplaneSwitch:
+    """A programmable switch data plane.
+
+    Parameters
+    ----------
+    name:
+        Switch identifier (e.g., ``"s1"``).
+    num_ports:
+        Number of front-panel ports, numbered ``1..num_ports``.
+        Port 0 is reserved as the CPU/controller port.
+    hash_algorithm:
+        Digest extern flavor: ``"halfsiphash"`` (BMv2) or ``"crc32"``
+        (Tofino).
+    seed:
+        Seed for the switch's ``random()`` extern.
+    """
+
+    CPU_PORT = 0
+
+    def __init__(self, name: str, num_ports: int = 8,
+                 hash_algorithm: str = "halfsiphash", seed: int = 1):
+        if num_ports < 1:
+            raise ValueError("switch needs at least one port")
+        self.name = name
+        self.num_ports = num_ports
+        self.registers = RegisterFile()
+        self.tables: Dict[str, MatchActionTable] = {}
+        self.pipeline = Pipeline(f"{name}-ingress")
+        self.hash = HashExtern(hash_algorithm)
+        self.random = RandomExtern(seed)
+        self.packets_processed = 0
+        self.packets_dropped = 0
+        self.pipeline_passes = 0
+
+    # -- program construction ------------------------------------------------
+
+    def add_table(self, table: MatchActionTable) -> MatchActionTable:
+        if table.name in self.tables:
+            raise ValueError(f"switch {self.name!r} already has table {table.name!r}")
+        self.tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> MatchActionTable:
+        if name not in self.tables:
+            raise KeyError(f"switch {self.name!r} has no table {name!r}")
+        return self.tables[name]
+
+    def valid_port(self, port: int) -> bool:
+        return port == self.CPU_PORT or 1 <= port <= self.num_ports
+
+    # -- packet processing -----------------------------------------------------
+
+    def process(self, packet: Packet, ingress_port: int,
+                now: float = 0.0) -> List[PipelineAction]:
+        """Run one packet through the pipeline, resolving recirculations.
+
+        Returns the final list of externally visible actions (Emit,
+        ToController, Drop).  Recirculations are resolved internally, each
+        consuming one additional pipeline pass (visible to the timing
+        model via :attr:`pipeline_passes`).
+        """
+        if not self.valid_port(ingress_port):
+            raise ValueError(
+                f"invalid ingress port {ingress_port} on switch {self.name!r}"
+            )
+        self.packets_processed += 1
+        pending = [(packet, ingress_port)]
+        final: List[PipelineAction] = []
+        passes = 0
+        while pending:
+            current, port = pending.pop(0)
+            passes += 1
+            if passes > MAX_RECIRCULATIONS + 1:
+                raise RuntimeError(
+                    f"packet exceeded {MAX_RECIRCULATIONS} recirculations "
+                    f"on switch {self.name!r}"
+                )
+            ctx = PipelineContext(self, current, port, now)
+            for action in self.pipeline.run(ctx):
+                if isinstance(action, Recirculate):
+                    pending.append((action.packet, port))
+                else:
+                    final.append(action)
+        self.pipeline_passes += passes
+        self.packets_dropped += sum(
+            1 for a in final if a.__class__.__name__ == "Drop"
+        )
+        return final
+
+    def __repr__(self) -> str:
+        return (
+            f"DataplaneSwitch({self.name!r}, ports={self.num_ports}, "
+            f"tables={len(self.tables)}, registers={len(self.registers)})"
+        )

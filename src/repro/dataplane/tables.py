@@ -1,0 +1,175 @@
+"""Match-action tables with exact, ternary, and LPM matching.
+
+Actions are plain callables registered on the table; an entry names the
+action and supplies parameters, as a control plane would install via
+P4Runtime.  Ternary entries carry priorities (highest wins), LPM prefers
+the longest prefix, exact matches are unambiguous — the standard PISA
+semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class MatchKind(enum.Enum):
+    """P4 match kinds supported by the table."""
+
+    EXACT = "exact"
+    TERNARY = "ternary"
+    LPM = "lpm"
+
+
+@dataclass
+class TableEntry:
+    """One installed table entry.
+
+    ``key`` holds one element per match field: an int for exact, a
+    ``(value, mask)`` pair for ternary, and a ``(value, prefix_len)`` pair
+    for LPM.
+    """
+
+    key: Tuple
+    action: str
+    params: Dict[str, int] = field(default_factory=dict)
+    priority: int = 0
+
+    def matches(self, kinds: Sequence[Tuple[MatchKind, int]],
+                lookup_key: Sequence[int]) -> bool:
+        for (kind, bits), spec, value in zip(kinds, self.key, lookup_key):
+            if kind is MatchKind.EXACT:
+                if spec != value:
+                    return False
+            elif kind is MatchKind.TERNARY:
+                entry_value, mask = spec
+                if (value & mask) != (entry_value & mask):
+                    return False
+            elif kind is MatchKind.LPM:
+                entry_value, prefix_len = spec
+                if prefix_len == 0:
+                    continue
+                mask = ((1 << prefix_len) - 1) << (bits - prefix_len)
+                if (value & mask) != (entry_value & mask):
+                    return False
+        return True
+
+    def lpm_length(self) -> int:
+        """Total prefix length across LPM fields (for longest-prefix wins)."""
+        total = 0
+        for spec in self.key:
+            if isinstance(spec, tuple) and len(spec) == 2:
+                total += spec[1] if isinstance(spec[1], int) else 0
+        return total
+
+
+class MatchActionTable:
+    """A match-action table bound to named action callables.
+
+    Parameters
+    ----------
+    name:
+        Table name (P4 table identifier).
+    match_fields:
+        ``(field_name, MatchKind, bit_width)`` triples describing the key.
+    max_entries:
+        Capacity, used for SRAM/TCAM accounting and install-time checks.
+    """
+
+    def __init__(self, name: str,
+                 match_fields: Sequence[Tuple[str, MatchKind, int]],
+                 max_entries: int = 1024):
+        if not match_fields:
+            raise ValueError("table needs at least one match field")
+        self.name = name
+        self.match_fields = list(match_fields)
+        self.max_entries = max_entries
+        self._entries: List[TableEntry] = []
+        self._actions: Dict[str, Callable] = {}
+        self._default_action: Optional[str] = None
+        self._default_params: Dict[str, int] = {}
+        self.hit_count = 0
+        self.miss_count = 0
+
+    # -- configuration (control-plane surface) -----------------------------
+
+    def register_action(self, name: str, fn: Callable) -> None:
+        """Bind an action name to a callable (compile-time binding in P4)."""
+        if name in self._actions:
+            raise ValueError(f"action {name!r} already registered on {self.name!r}")
+        self._actions[name] = fn
+
+    def set_default(self, action: str, **params: int) -> None:
+        if action not in self._actions:
+            raise KeyError(f"unknown action {action!r} on table {self.name!r}")
+        self._default_action = action
+        self._default_params = params
+
+    def insert(self, entry: TableEntry) -> None:
+        """Install an entry (what P4Runtime's TableEntry write does)."""
+        if entry.action not in self._actions:
+            raise KeyError(f"unknown action {entry.action!r} on table {self.name!r}")
+        if len(entry.key) != len(self.match_fields):
+            raise ValueError(
+                f"entry key arity {len(entry.key)} != "
+                f"table key arity {len(self.match_fields)}"
+            )
+        if len(self._entries) >= self.max_entries:
+            raise RuntimeError(f"table {self.name!r} is full ({self.max_entries})")
+        self._entries.append(entry)
+
+    def remove_where(self, predicate: Callable[[TableEntry], bool]) -> int:
+        """Remove entries matching a predicate; returns how many."""
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if not predicate(e)]
+        return before - len(self._entries)
+
+    def clear(self) -> None:
+        self._entries = []
+
+    def entries(self) -> List[TableEntry]:
+        return list(self._entries)
+
+    # -- data-plane lookup ---------------------------------------------------
+
+    def lookup(self, *lookup_key: int):
+        """Match ``lookup_key`` and run the winning entry's action.
+
+        Returns whatever the action callable returns (often None; actions
+        typically mutate the pipeline context passed via closure or params).
+        """
+        kinds = [(kind, bits) for _, kind, bits in self.match_fields]
+        candidates = [e for e in self._entries if e.matches(kinds, lookup_key)]
+        if candidates:
+            has_ternary = any(kind is MatchKind.TERNARY for kind, _ in kinds)
+            has_lpm = any(kind is MatchKind.LPM for kind, _ in kinds)
+            if has_ternary:
+                winner = max(candidates, key=lambda e: e.priority)
+            elif has_lpm:
+                winner = max(candidates, key=lambda e: (e.lpm_length(), e.priority))
+            else:
+                winner = candidates[0]
+            self.hit_count += 1
+            return self._actions[winner.action](**winner.params)
+        self.miss_count += 1
+        if self._default_action is not None:
+            return self._actions[self._default_action](**self._default_params)
+        return None
+
+    @property
+    def uses_tcam(self) -> bool:
+        """Ternary/LPM keys consume TCAM; exact-only tables live in SRAM."""
+        return any(
+            kind in (MatchKind.TERNARY, MatchKind.LPM)
+            for _, kind, _ in self.match_fields
+        )
+
+    def key_bits(self) -> int:
+        return sum(bits for _, _, bits in self.match_fields)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"MatchActionTable({self.name!r}, {len(self._entries)} entries)"

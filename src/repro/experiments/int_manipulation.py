@@ -1,0 +1,156 @@
+"""INT manipulation experiment (the secINT scenario the paper cites).
+
+A 4-switch INT chain where hop 2 is congested (200 µs hop latency, deep
+queue).  A MitM on the link after hop 2 rewrites the accumulated records
+to report a healthy path.  Modes:
+
+- ``baseline``: the collector sees the congestion.
+- ``attack``: the collector sees a healthy path — telemetry blind spot.
+- ``p4auth``: the INT probe is DP-DP protected; the switch after the
+  MitM drops the rewritten probe and alerts.  The collector receives
+  fewer probes, but every one it does receive is truthful.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.attacks.base import Adversary
+from repro.core.auth_dataplane import P4AuthConfig, P4AuthDataplane
+from repro.core.controller import P4AuthController
+from repro.net.topology import linear_chain
+from repro.systems.int_telemetry import (
+    RECORD_BYTES,
+    RECORD_FORMAT,
+    IntCollector,
+    IntConfig,
+    IntTelemetryDataplane,
+    make_int_probe,
+)
+
+MODES = ("baseline", "attack", "p4auth")
+
+CONGESTED_HOP = 2
+CONGESTED_LATENCY_US = 200
+HEALTHY_LATENCY_US = 20
+
+
+class RecordRewriter(Adversary):
+    """Rewrites congested INT records to look healthy (hides hotspots)."""
+
+    def __init__(self, direction_filter=None):
+        super().__init__("int-rewriter", direction_filter)
+
+    def process(self, packet, direction):
+        if not packet.has("int_probe"):
+            return packet
+        payload = bytearray(packet.payload)
+        touched = False
+        for offset in range(0, len(payload) - len(payload) % RECORD_BYTES,
+                            RECORD_BYTES):
+            switch_id, latency, _queue, port = struct.unpack_from(
+                RECORD_FORMAT, payload, offset)
+            if latency > 100:
+                struct.pack_into(RECORD_FORMAT, payload, offset,
+                                 switch_id, HEALTHY_LATENCY_US, 2, port)
+                touched = True
+        if touched:
+            packet.payload = bytes(payload)
+            self.stats.modified += 1
+        return packet
+
+
+@dataclass
+class IntResult:
+    mode: str
+    probes_sent: int
+    probes_collected: int
+    reported_max_hop_latency_us: int
+    true_max_hop_latency_us: int
+    congestion_visible: bool
+    alerts: int
+    tampered: int
+    #: Did the operator learn anything is wrong (alerts or verified
+    #: congestion reports)?
+    detected: bool = False
+
+
+def run_int_manipulation(mode: str, num_switches: int = 4,
+                         num_probes: int = 40,
+                         spacing_s: float = 0.005) -> IntResult:
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}")
+    net, extras = linear_chain(num_switches)
+    sim = extras["sim"]
+
+    # Hop 2 is congested for even flow ids (bursty congestion), healthy
+    # otherwise; every other hop is always healthy.
+    def hop_latency(index):
+        def fn(_now, flow_id):
+            if index == CONGESTED_HOP and flow_id % 2 == 0:
+                return CONGESTED_LATENCY_US
+            return HEALTHY_LATENCY_US
+        return fn
+
+    for index, name in enumerate(extras["switches"], start=1):
+        config = IntConfig(
+            switch_id=index,
+            routes={1: 2 if index < num_switches else None},
+            collector_port=2,
+            latency_us=hop_latency(index),
+            queue_depth=lambda now, flow: 4,
+        )
+        IntTelemetryDataplane(net.switch(name), config).install()
+
+    controller = None
+    if mode == "p4auth":
+        dataplanes = []
+        for index, name in enumerate(extras["switches"]):
+            dataplanes.append(P4AuthDataplane(
+                net.switch(name), k_seed=0x127 + index,
+                config=P4AuthConfig(protected_headers={"int_probe"}),
+            ).install())
+        controller = P4AuthController(net)
+        for dataplane in dataplanes:
+            controller.provision(dataplane)
+        controller.kmp.bootstrap_all()
+        sim.run(until=1.0)
+
+    adversary = None
+    if mode in ("attack", "p4auth"):
+        # The MitM sits just downstream of the congested hop.
+        link = net.link_between(f"s{CONGESTED_HOP}",
+                                f"s{CONGESTED_HOP + 1}")
+        adversary = RecordRewriter()
+        adversary.attach(link)
+
+    collector = IntCollector()
+    extras["dst"].on_packet = collector.ingest
+
+    start = sim.now
+    for index in range(num_probes):
+        sim.schedule_at(start + index * spacing_s,
+                        extras["src"].send, make_int_probe(index))
+    sim.run(until=start + num_probes * spacing_s + 1.0)
+
+    reported = collector.max_hop_latency_us()
+    alerts = len(controller.alerts) if controller else 0
+    visible = reported >= CONGESTED_LATENCY_US
+    return IntResult(
+        mode=mode,
+        probes_sent=num_probes,
+        probes_collected=len(collector.probes),
+        reported_max_hop_latency_us=reported,
+        true_max_hop_latency_us=CONGESTED_LATENCY_US,
+        congestion_visible=visible,
+        alerts=alerts,
+        tampered=adversary.stats.modified if adversary else 0,
+        detected=visible or alerts > 0,
+    )
+
+
+def run_all(num_probes: int = 40) -> Dict[str, IntResult]:
+    return {mode: run_int_manipulation(mode, num_probes=num_probes)
+            for mode in MODES}

@@ -1,0 +1,245 @@
+"""The simulated network: nodes, wiring, and message delivery.
+
+:class:`Network` owns the switch/host nodes, the links between data-plane
+ports, and one control channel per switch toward a single logical
+controller.  It translates pipeline actions (Emit/ToController/Drop) into
+scheduled events, charging the cost model for switch processing (including
+per-digest costs, measured as hash-extern invocation deltas) and link
+delays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import Drop, Emit, ToController
+from repro.dataplane.switch import DataplaneSwitch
+from repro.crypto.prng import XorShiftPrng
+from repro.net.costs import CostModel
+from repro.net.links import ControlChannel, Link
+from repro.net.simulator import EventSimulator
+
+
+class SwitchNode:
+    """A data-plane switch attached to the network fabric."""
+
+    def __init__(self, network: "Network", switch: DataplaneSwitch):
+        self.network = network
+        self.switch = switch
+        self.name = switch.name
+        self.drops: List[Tuple[float, str]] = []
+
+    def receive(self, packet: Packet, ingress_port: int) -> None:
+        """Handle an arriving packet: run the pipeline, schedule outcomes."""
+        sim = self.network.sim
+        costs = self.network.costs
+        hash_before = self.switch.hash.invocations
+        actions = self.switch.process(packet, ingress_port, now=sim.now)
+        hash_ops = self.switch.hash.invocations - hash_before
+        proc_delay = costs.switch_fwd_s + hash_ops * costs.digest_op_s
+        for action in actions:
+            if isinstance(action, Emit):
+                sim.schedule(
+                    proc_delay, self.network.transmit, self.name,
+                    action.port, action.packet,
+                )
+            elif isinstance(action, ToController):
+                sim.schedule(
+                    proc_delay, self.network.send_packet_in,
+                    self.name, action.packet,
+                )
+            elif isinstance(action, Drop):
+                self.drops.append((sim.now, action.reason))
+
+
+class HostNode:
+    """An end host: generates and sinks packets on a single access port."""
+
+    def __init__(self, network: "Network", name: str,
+                 on_packet: Optional[Callable[[Packet, float], None]] = None):
+        self.network = network
+        self.name = name
+        self.on_packet = on_packet
+        self.received: List[Tuple[float, Packet]] = []
+        self.sent_count = 0
+
+    def receive(self, packet: Packet, ingress_port: int) -> None:
+        self.received.append((self.network.sim.now, packet))
+        if self.on_packet is not None:
+            self.on_packet(packet, self.network.sim.now)
+
+    def send(self, packet: Packet, port: int = 1,
+             charge_host_cost: bool = True) -> None:
+        """Transmit a packet out of the host's access port."""
+        delay = self.network.costs.host_fixed_s if charge_host_cost else 0.0
+        self.sent_count += 1
+        self.network.sim.schedule(
+            delay, self.network.transmit, self.name, port, packet
+        )
+
+
+class Network:
+    """Nodes + links + control channels, bound to an event simulator."""
+
+    def __init__(self, sim: EventSimulator, costs: Optional[CostModel] = None,
+                 jitter_seed: int = 0x7177E4):
+        self.sim = sim
+        self.costs = costs or CostModel()
+        self._jitter_prng = XorShiftPrng(jitter_seed)
+        self.nodes: Dict[str, object] = {}
+        self._links: Dict[Tuple[str, int], Link] = {}
+        self.links: List[Link] = []
+        self.control_channels: Dict[str, ControlChannel] = {}
+        self.controller = None  # set by attach_controller
+        self.port_status_listeners: List[Callable[[str, int, bool], None]] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def add_switch(self, switch: DataplaneSwitch) -> SwitchNode:
+        if switch.name in self.nodes:
+            raise ValueError(f"node {switch.name!r} already exists")
+        node = SwitchNode(self, switch)
+        self.nodes[switch.name] = node
+        self.control_channels[switch.name] = ControlChannel(
+            switch.name, self.costs.cdp_one_way_s
+        )
+        return node
+
+    def add_host(self, name: str,
+                 on_packet: Optional[Callable[[Packet, float], None]] = None
+                 ) -> HostNode:
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = HostNode(self, name, on_packet)
+        self.nodes[name] = node
+        return node
+
+    def connect(self, name_a: str, port_a: int, name_b: str, port_b: int,
+                latency_s: Optional[float] = None,
+                bandwidth_bps: float = 10e9) -> Link:
+        """Wire two node ports together with a link."""
+        for name, port in ((name_a, port_a), (name_b, port_b)):
+            if name not in self.nodes:
+                raise KeyError(f"unknown node {name!r}")
+            if (name, port) in self._links:
+                raise ValueError(f"port {port} on {name!r} is already wired")
+        link = Link(
+            (name_a, port_a), (name_b, port_b),
+            latency_s if latency_s is not None else self.costs.link_latency_s,
+            bandwidth_bps,
+        )
+        self._links[(name_a, port_a)] = link
+        self._links[(name_b, port_b)] = link
+        self.links.append(link)
+        return link
+
+    def link_between(self, name_a: str, name_b: str) -> Link:
+        """Find the (first) link joining two named nodes."""
+        for link in self.links:
+            names = {link.end_a[0], link.end_b[0]}
+            if names == {name_a, name_b}:
+                return link
+        raise KeyError(f"no link between {name_a!r} and {name_b!r}")
+
+    def link_at(self, name: str, port: int) -> Link:
+        if (name, port) not in self._links:
+            raise KeyError(f"no link at ({name!r}, {port})")
+        return self._links[(name, port)]
+
+    def attach_controller(self, controller) -> None:
+        """Bind the (single, logical) controller.
+
+        The controller object must expose
+        ``handle_packet_in(switch_name, packet)``.
+        """
+        self.controller = controller
+
+    def switch(self, name: str) -> DataplaneSwitch:
+        node = self.nodes[name]
+        if not isinstance(node, SwitchNode):
+            raise TypeError(f"node {name!r} is not a switch")
+        return node.switch
+
+    def switch_names(self) -> List[str]:
+        return [n for n, node in self.nodes.items() if isinstance(node, SwitchNode)]
+
+    # -- data-plane delivery ------------------------------------------------------
+
+    def transmit(self, from_name: str, port: int, packet: Packet) -> None:
+        """Put a packet on the wire out of (from_name, port)."""
+        key = (from_name, port)
+        if key not in self._links:
+            return  # unwired port: packet falls off the edge (like real HW)
+        link = self._links[key]
+        if not link.up:
+            return
+        direction = link.direction_from(from_name, port)
+        survivor = link.transit(packet, direction)
+        if survivor is None:
+            return
+        peer_name, peer_port = link.peer_of(from_name, port)
+        delay = link.transmit_delay(survivor.size_bytes, direction,
+                                    self.sim.now)
+        peer = self.nodes[peer_name]
+        self.sim.schedule(delay, peer.receive, survivor, peer_port)
+
+    def jittered(self, delay: float) -> float:
+        """Apply the cost model's uniform relative jitter (seeded)."""
+        fraction = self.costs.jitter_fraction
+        if fraction <= 0:
+            return delay
+        return delay * (1.0 + fraction * (2.0 * self._jitter_prng.uniform()
+                                          - 1.0))
+
+    # -- control-plane delivery (PacketOut / PacketIn) ----------------------------
+
+    def send_packet_out(self, switch_name: str, packet: Packet) -> None:
+        """Controller -> switch data plane, through the untrusted OS."""
+        channel = self.control_channels[switch_name]
+        survivor = channel.transit(packet, "c->dp")
+        if survivor is None:
+            return
+        node = self.nodes[switch_name]
+        self.sim.schedule(
+            self.jittered(channel.latency_s), node.receive, survivor,
+            DataplaneSwitch.CPU_PORT,
+        )
+
+    def send_packet_in(self, switch_name: str, packet: Packet) -> None:
+        """Switch data plane -> controller, through the untrusted OS."""
+        if self.controller is None:
+            return
+        channel = self.control_channels[switch_name]
+        survivor = channel.transit(packet, "dp->c")
+        if survivor is None:
+            return
+        self.sim.schedule(
+            self.jittered(channel.latency_s) + self.costs.controller_proc_s,
+            self.controller.handle_packet_in, switch_name, survivor,
+        )
+
+    # -- topology events -----------------------------------------------------------
+
+    def set_link_up(self, link: Link, up: bool) -> None:
+        """Flip a link's status and notify listeners (LLDP-style events)."""
+        link.up = up
+        for name, port in (link.end_a, link.end_b):
+            if isinstance(self.nodes.get(name), SwitchNode):
+                for listener in self.port_status_listeners:
+                    listener(name, port, up)
+
+    def on_port_status(self, listener: Callable[[str, int, bool], None]) -> None:
+        """Subscribe to port up/down events (the controller's LLDP feed)."""
+        self.port_status_listeners.append(listener)
+
+    def neighbor_ports(self, switch_name: str) -> Dict[int, Tuple[str, int]]:
+        """Map of local port -> (peer switch, peer port), switches only."""
+        result: Dict[int, Tuple[str, int]] = {}
+        for (name, port), link in self._links.items():
+            if name != switch_name:
+                continue
+            peer_name, peer_port = link.peer_of(name, port)
+            if isinstance(self.nodes.get(peer_name), SwitchNode):
+                result[port] = (peer_name, peer_port)
+        return result

@@ -1,0 +1,138 @@
+"""Topology builders for the paper's experiment setups.
+
+- :func:`linear_chain` — N switches in a row with a host on each end
+  (Fig 21's multi-hop probe traversal experiment).
+- :func:`hula_fig3_topology` — the 5-switch topology of Fig 3: S1 reaches
+  S5 via three parallel paths through S2, S3, and S4.
+- :func:`leaf_spine` — a parameterized leaf-spine fabric for load-balancer
+  scenarios beyond the paper's minimal topology.
+
+All builders return ``(network, extras)`` where ``extras`` is a dict of
+the named nodes/ports a caller needs to run the experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import networkx as nx
+
+from repro.dataplane.switch import DataplaneSwitch
+from repro.net.costs import CostModel
+from repro.net.network import Network
+from repro.net.simulator import EventSimulator
+
+SwitchFactory = Callable[[str, int], DataplaneSwitch]
+
+
+def _default_factory(name: str, num_ports: int) -> DataplaneSwitch:
+    return DataplaneSwitch(name, num_ports=num_ports)
+
+
+def linear_chain(num_switches: int,
+                 factory: Optional[SwitchFactory] = None,
+                 costs: Optional[CostModel] = None
+                 ) -> Tuple[Network, Dict[str, object]]:
+    """``h_src - s1 - s2 - ... - sN - h_dst``.
+
+    Port convention per switch: port 1 faces the source side, port 2 the
+    destination side.
+    """
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    factory = factory or _default_factory
+    sim = EventSimulator()
+    net = Network(sim, costs)
+    names = [f"s{i}" for i in range(1, num_switches + 1)]
+    for name in names:
+        net.add_switch(factory(name, 2))
+    src = net.add_host("h_src")
+    dst = net.add_host("h_dst")
+    net.connect("h_src", 1, names[0], 1)
+    for left, right in zip(names, names[1:]):
+        net.connect(left, 2, right, 1)
+    net.connect(names[-1], 2, "h_dst", 1)
+    return net, {"sim": sim, "switches": names, "src": src, "dst": dst}
+
+
+def hula_fig3_topology(factory: Optional[SwitchFactory] = None,
+                       costs: Optional[CostModel] = None
+                       ) -> Tuple[Network, Dict[str, object]]:
+    """The Fig 3 topology: S1 -> {S2, S3, S4} -> S5, hosts at both ends.
+
+    Port map on S1: port 2 -> S2, port 3 -> S3, port 4 -> S4, port 1 ->
+    host.  Port map on S5 mirrors it.  Middle switches use port 1 toward
+    S1 and port 2 toward S5.
+    """
+    factory = factory or _default_factory
+    sim = EventSimulator()
+    net = Network(sim, costs)
+    for name, ports in (("s1", 4), ("s2", 2), ("s3", 2), ("s4", 2), ("s5", 4)):
+        net.add_switch(factory(name, ports))
+    h1 = net.add_host("h1")
+    h5 = net.add_host("h5")
+    net.connect("h1", 1, "s1", 1)
+    net.connect("h5", 1, "s5", 1)
+    for index, mid in enumerate(("s2", "s3", "s4"), start=2):
+        net.connect("s1", index, mid, 1)
+        net.connect(mid, 2, "s5", index)
+    return net, {
+        "sim": sim,
+        "h1": h1,
+        "h5": h5,
+        "paths": {"s2": 2, "s3": 3, "s4": 4},  # S1 egress port per mid switch
+    }
+
+
+def leaf_spine(num_leaves: int = 4, num_spines: int = 2,
+               factory: Optional[SwitchFactory] = None,
+               costs: Optional[CostModel] = None
+               ) -> Tuple[Network, Dict[str, object]]:
+    """A leaf-spine fabric with one host per leaf.
+
+    Leaf port map: port 1 -> host, ports 2..(1+num_spines) -> spines in
+    order.  Spine port map: ports 1..num_leaves -> leaves in order.
+    """
+    if num_leaves < 2 or num_spines < 1:
+        raise ValueError("need >= 2 leaves and >= 1 spine")
+    factory = factory or _default_factory
+    sim = EventSimulator()
+    net = Network(sim, costs)
+    leaves = [f"leaf{i}" for i in range(1, num_leaves + 1)]
+    spines = [f"spine{i}" for i in range(1, num_spines + 1)]
+    for name in leaves:
+        net.add_switch(factory(name, 1 + num_spines))
+    for name in spines:
+        net.add_switch(factory(name, num_leaves))
+    hosts = {}
+    for index, leaf in enumerate(leaves, start=1):
+        host = net.add_host(f"h{index}")
+        hosts[leaf] = host
+        net.connect(host.name, 1, leaf, 1)
+    for leaf_idx, leaf in enumerate(leaves, start=1):
+        for spine_idx, spine in enumerate(spines, start=1):
+            net.connect(leaf, 1 + spine_idx, spine, leaf_idx)
+    return net, {
+        "sim": sim,
+        "leaves": leaves,
+        "spines": spines,
+        "hosts": hosts,
+    }
+
+
+def as_graph(net: Network) -> "nx.Graph":
+    """Export the switch-level topology as a networkx graph.
+
+    Used by the scalability analysis (Table III) to count switches and
+    links, and available for users to run graph algorithms on the fabric.
+    """
+    graph = nx.Graph()
+    for name in net.switch_names():
+        graph.add_node(name)
+    seen = set()
+    for link in net.links:
+        a, b = link.end_a[0], link.end_b[0]
+        if a in graph and b in graph and (a, b) not in seen and (b, a) not in seen:
+            graph.add_edge(a, b)
+            seen.add((a, b))
+    return graph

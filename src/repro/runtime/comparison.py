@@ -1,0 +1,65 @@
+"""The Fig 18/19 stack comparison, as a reusable measurement.
+
+Builds each of the three register-access stacks (P4Runtime, DP-Reg-RW,
+P4Auth) on a fresh single-switch deployment and drives the paper's
+sequential read/write workload against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.auth_dataplane import P4AuthDataplane
+from repro.core.controller import P4AuthController
+from repro.dataplane.switch import DataplaneSwitch
+from repro.net.network import Network
+from repro.net.simulator import EventSimulator
+from repro.runtime.harness import RunStats, run_sequential
+from repro.runtime.p4runtime import P4RuntimeStack
+from repro.runtime.plain import PlainController, PlainRegOpDataplane
+
+STACKS = ("P4Runtime", "DP-Reg-RW", "P4Auth")
+
+
+def build_stack(name: str, costs=None):
+    """A fresh deployment of one stack; returns (sim, stack)."""
+    if name not in STACKS:
+        raise ValueError(f"stack must be one of {STACKS}")
+    sim = EventSimulator()
+    net = Network(sim, costs)
+    switch = DataplaneSwitch("s1", num_ports=2)
+    net.add_switch(switch)
+    switch.registers.define("target", 64, 16)
+    if name == "P4Runtime":
+        stack = P4RuntimeStack(net)
+        stack.provision(switch)
+    elif name == "DP-Reg-RW":
+        dataplane = PlainRegOpDataplane(switch).install()
+        dataplane.map_register("target")
+        stack = PlainController(net)
+        stack.provision(switch)
+    else:
+        dataplane = P4AuthDataplane(switch, k_seed=0x42).install()
+        dataplane.map_register("target")
+        stack = P4AuthController(net)
+        stack.provision(dataplane)
+        stack.kmp.local_key_init("s1")
+        sim.run(until=0.1)
+    return sim, stack
+
+
+def measure(duration_s: float = 10.0,
+            costs=None) -> Dict[Tuple[str, str], RunStats]:
+    """Sequential read and write runs on every stack.
+
+    Returns ``{(stack_name, "read"|"write"): RunStats}``.  Pass a
+    ``CostModel(jitter_fraction=...)`` to measure RCT *distributions*
+    (the paper's Fig 18 is a CDF).
+    """
+    table: Dict[Tuple[str, str], RunStats] = {}
+    for name in STACKS:
+        for kind in ("read", "write"):
+            sim, stack = build_stack(name, costs)
+            table[(name, kind)] = run_sequential(
+                sim, stack, kind, "s1", "target", duration_s=duration_s)
+    return table

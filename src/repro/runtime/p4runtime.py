@@ -1,0 +1,116 @@
+"""The P4Runtime register-access stack (cost model).
+
+The paper's first variant performs register reads/writes through the
+P4Runtime API: gRPC request to the P4Runtime server in the switch control
+plane, then SDK/driver calls into the ASIC.  No PacketOut is involved and
+the packet pipeline is bypassed, so we model this stack as a timed
+sequence of cost-model charges around a direct register access — the
+shape that matters for Figs 18/19 is its extra per-request stack overhead
+and the read/write compose asymmetry (paper: read throughput is 1.7x
+write throughput because writes compose both the index and the data).
+
+Security-wise this path runs *through the untrusted switch OS*: the
+control-channel taps apply, which is exactly why the paper's threat model
+defeats TLS-protected P4Runtime (§I) — the tamper happens below the gRPC
+endpoint.  We model that by routing the request's parameters through the
+same tap chain as PacketOut messages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.constants import REG_OP, RegOpType
+from repro.dataplane.switch import DataplaneSwitch
+from repro.net.network import Network
+from repro.runtime.plain import build_plain_request
+
+ResponseCallback = Callable[[bool, int], None]
+
+
+class P4RuntimeStack:
+    """Register access via the (modeled) P4Runtime API."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.sim = network.sim
+        self.costs = network.costs
+        self._switches: Dict[str, DataplaneSwitch] = {}
+        self._seq = 1
+        self.rct_samples = []  # (kind, rct_s, ok)
+
+    def provision(self, switch: DataplaneSwitch) -> None:
+        self._switches[switch.name] = switch
+
+    def read_register(self, switch: str, reg_name: str, index: int,
+                      callback: Optional[ResponseCallback] = None) -> int:
+        return self._issue("read", switch, reg_name, index, 0, callback,
+                           self.costs.compose_read_s)
+
+    def write_register(self, switch: str, reg_name: str, index: int,
+                       value: int,
+                       callback: Optional[ResponseCallback] = None) -> int:
+        return self._issue("write", switch, reg_name, index, value, callback,
+                           self.costs.compose_write_s)
+
+    def _issue(self, kind: str, switch: str, reg_name: str, index: int,
+               value: int, callback: Optional[ResponseCallback],
+               compose_cost: float) -> int:
+        seq = self._seq
+        self._seq += 1
+        sent_at = self.sim.now
+        # Compose + gRPC/P4Runtime server overhead, then one C-DP transit.
+        request_delay = (compose_cost + self.costs.p4runtime_overhead_s
+                         + self.network.jittered(self.costs.cdp_one_way_s))
+        self.sim.schedule(request_delay, self._apply, kind, switch, reg_name,
+                          index, value, seq, sent_at, callback)
+        return seq
+
+    def _apply(self, kind: str, switch: str, reg_name: str, index: int,
+               value: int, seq: int, sent_at: float,
+               callback: Optional[ResponseCallback]) -> None:
+        # The request parameters traverse the switch OS (SDK/driver), so
+        # the compromised-OS tap chain gets its chance to mangle them.
+        msg_type = RegOpType.READ_REQ if kind == "read" else RegOpType.WRITE_REQ
+        device = self._switches[switch]
+        reg_id = device.registers.id_of(reg_name)
+        surrogate = build_plain_request(msg_type, reg_id, index, value, seq)
+        channel = self.network.control_channels[switch]
+        survivor = channel.transit(surrogate, "c->dp")
+        if survivor is None:
+            return  # dropped in the OS; the request times out silently
+        payload = survivor.get(REG_OP)
+        register = device.registers.get(device.registers.name_of(
+            payload["regId"]))
+        ok = True
+        if kind == "read":
+            result = register.read(payload["index"])
+        else:
+            try:
+                register.write(payload["index"], payload["value"])
+                result = payload["value"]
+            except (ValueError, IndexError):
+                ok = False
+                result = 0
+        # Driver apply cost + response transit back through the OS.
+        response = build_plain_request(
+            RegOpType.ACK if ok else RegOpType.NACK,
+            payload["regId"], payload["index"], result, seq,
+        )
+        survivor_up = channel.transit(response, "dp->c")
+        if survivor_up is None:
+            return
+        response_delay = (self.costs.switch_fwd_s
+                          + self.network.jittered(self.costs.cdp_one_way_s)
+                          + self.costs.controller_proc_s)
+        self.sim.schedule(response_delay, self._complete, kind, survivor_up,
+                          sent_at, callback)
+
+    def _complete(self, kind: str, response, sent_at: float,
+                  callback: Optional[ResponseCallback]) -> None:
+        ctl = response.get("ctl")
+        ok = ctl["msgType"] == RegOpType.ACK
+        value = response.get(REG_OP)["value"]
+        self.rct_samples.append((kind, self.sim.now - sent_at, ok))
+        if callback is not None:
+            callback(ok, value)

@@ -1,0 +1,194 @@
+"""DP-Reg-RW: unauthenticated register access over PacketOut/PacketIn.
+
+The paper's middle variant — register read/write requests are crafted as
+PacketOut messages and processed in the data plane (like P4Auth), but
+carry no digest.  It is both the fair performance baseline for Figs 18/19
+and the attack surface for the C-DP adversary demos: a control-channel
+tap can rewrite these messages and nobody notices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.constants import REG_OP, REG_OP_HEADER, RegOpType
+from repro.dataplane.headers import HeaderType
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import PipelineContext
+from repro.dataplane.switch import DataplaneSwitch
+from repro.dataplane.tables import MatchActionTable, MatchKind, TableEntry
+from repro.net.network import Network
+
+#: Unauthenticated control header: message type + sequence number only.
+CTL_HEADER = HeaderType("ctl", [
+    ("msgType", 8),
+    ("seqNum", 32),
+])
+
+ResponseCallback = Callable[[bool, int], None]
+
+
+def build_plain_request(msg_type: RegOpType, reg_id: int, index: int,
+                        value: int, seq_num: int) -> Packet:
+    packet = Packet()
+    packet.push("ctl", CTL_HEADER.instantiate(msgType=int(msg_type),
+                                              seqNum=seq_num))
+    packet.push(REG_OP, REG_OP_HEADER.instantiate(regId=reg_id, index=index,
+                                                  value=value))
+    return packet
+
+
+class PlainRegOpDataplane:
+    """Data-plane handler for unauthenticated register operations."""
+
+    def __init__(self, switch: DataplaneSwitch):
+        self.switch = switch
+        self.mapping_table = MatchActionTable(
+            "plain_reg_id_to_name",
+            [("regId", MatchKind.EXACT, 32), ("opType", MatchKind.EXACT, 8)],
+            max_entries=4096,
+        )
+        switch.add_table(self.mapping_table)
+        self._op_index = 0
+        self._op_value = 0
+        self._op_result = 0
+        self._op_ok = False
+        self.regops_served = 0
+
+    def install(self) -> "PlainRegOpDataplane":
+        self.switch.pipeline.insert_stage(0, "plain_regop", self._stage)
+        return self
+
+    def map_register(self, name: str) -> int:
+        register = self.switch.registers.get(name)
+        reg_id = self.switch.registers.id_of(name)
+
+        def do_read() -> None:
+            self._op_ok = True
+            self._op_result = register.read(self._op_index)
+
+        def do_write() -> None:
+            self._op_ok = True
+            register.write(self._op_index, self._op_value)
+            self._op_result = self._op_value
+
+        self.mapping_table.register_action(f"{name}_read", do_read)
+        self.mapping_table.register_action(f"{name}_write", do_write)
+        self.mapping_table.insert(TableEntry(
+            key=(reg_id, int(RegOpType.READ_REQ)), action=f"{name}_read"))
+        self.mapping_table.insert(TableEntry(
+            key=(reg_id, int(RegOpType.WRITE_REQ)), action=f"{name}_write"))
+        return reg_id
+
+    def map_all_registers(self) -> Dict[str, int]:
+        return {
+            name: self.map_register(name)
+            for name in self.switch.registers.names()
+            if not name.startswith("p4auth_")
+        }
+
+    def _stage(self, ctx: PipelineContext) -> None:
+        packet = ctx.packet
+        if (ctx.ingress_port != DataplaneSwitch.CPU_PORT
+                or not packet.has("ctl") or not packet.has(REG_OP)):
+            return
+        ctl = packet.get("ctl")
+        payload = packet.get(REG_OP)
+        self._op_index = payload["index"]
+        self._op_value = payload["value"]
+        self._op_ok = False
+        self._op_result = 0
+        self.mapping_table.lookup(payload["regId"], ctl["msgType"])
+        msg_type = RegOpType.ACK if self._op_ok else RegOpType.NACK
+        if self._op_ok:
+            self.regops_served += 1
+        response = build_plain_request(
+            msg_type, payload["regId"], payload["index"],
+            self._op_result, ctl["seqNum"],
+        )
+        ctx.to_controller(response, reason="plain reg-op response")
+        ctx.stop()
+
+
+@dataclass
+class _PlainPending:
+    kind: str
+    sent_at: float
+    callback: Optional[ResponseCallback]
+
+
+class PlainController:
+    """Controller for the DP-Reg-RW stack (no authentication).
+
+    API-compatible with :class:`repro.core.P4AuthController` for register
+    operations, so in-network system controllers (e.g., RouteScout's) can
+    run over either stack.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.sim = network.sim
+        self.costs = network.costs
+        self._seq: Dict[str, int] = {}
+        self._pending: Dict[Tuple[str, int], _PlainPending] = {}
+        self._reg_ids: Dict[str, Dict[str, int]] = {}
+        self.rct_samples = []  # (kind, rct_s, ok)
+        self.acks = 0
+        self.nacks = 0
+        network.attach_controller(self)
+
+    def provision(self, switch: DataplaneSwitch) -> None:
+        self._reg_ids[switch.name] = {
+            reg_name: reg_id
+            for reg_id, reg_name in switch.registers.id_map().items()
+        }
+        self._seq.setdefault(switch.name, 1)
+
+    def _next_seq(self, switch: str) -> int:
+        seq = self._seq[switch]
+        self._seq[switch] = (seq + 1) & 0xFFFFFFFF
+        return seq
+
+    def read_register(self, switch: str, reg_name: str, index: int,
+                      callback: Optional[ResponseCallback] = None) -> int:
+        return self._issue(RegOpType.READ_REQ, "read", switch, reg_name,
+                           index, 0, callback, self.costs.compose_read_s)
+
+    def write_register(self, switch: str, reg_name: str, index: int,
+                       value: int,
+                       callback: Optional[ResponseCallback] = None) -> int:
+        return self._issue(RegOpType.WRITE_REQ, "write", switch, reg_name,
+                           index, value, callback, self.costs.compose_write_s)
+
+    def _issue(self, msg_type: RegOpType, kind: str, switch: str,
+               reg_name: str, index: int, value: int,
+               callback: Optional[ResponseCallback],
+               compose_cost: float) -> int:
+        seq = self._next_seq(switch)
+        request = build_plain_request(
+            msg_type, self._reg_ids[switch][reg_name], index, value, seq
+        )
+        self._pending[(switch, seq)] = _PlainPending(kind, self.sim.now,
+                                                     callback)
+        self.sim.schedule(compose_cost, self.network.send_packet_out,
+                          switch, request)
+        return seq
+
+    def handle_packet_in(self, switch: str, packet: Packet) -> None:
+        if not packet.has("ctl"):
+            return
+        ctl = packet.get("ctl")
+        pending = self._pending.pop((switch, ctl["seqNum"]), None)
+        if pending is None:
+            return
+        ok = ctl["msgType"] == RegOpType.ACK
+        value = packet.get(REG_OP)["value"] if packet.has(REG_OP) else 0
+        if ok:
+            self.acks += 1
+        else:
+            self.nacks += 1
+        self.rct_samples.append((pending.kind, self.sim.now - pending.sent_at,
+                                 ok))
+        if pending.callback is not None:
+            pending.callback(ok, value)

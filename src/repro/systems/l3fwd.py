@@ -1,0 +1,94 @@
+"""Baseline destination-based L3 port forwarding (paper §IX-B).
+
+The performance evaluation's base program: "destination-based layer-3
+port forwarding with two match-action tables and one register".  We model
+it faithfully: an LPM route table picks the egress port, an exact-match
+rewrite table models L2 adjacency resolution, and a register counts
+per-index packets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.headers import HeaderType
+from repro.dataplane.pipeline import PipelineContext
+from repro.dataplane.switch import DataplaneSwitch
+from repro.dataplane.tables import MatchActionTable, MatchKind, TableEntry
+
+#: Minimal IPv4-ish header for the forwarding path.
+IPV4_HEADER = HeaderType("ipv4", [
+    ("src", 32),
+    ("dst", 32),
+    ("ttl", 8),
+    ("proto", 8),
+    ("flow_id", 16),
+])
+
+
+class L3ForwardingDataplane:
+    """The two-table, one-register L3 forwarder."""
+
+    def __init__(self, switch: DataplaneSwitch, stats_size: int = 256):
+        self.switch = switch
+        self.route_table = MatchActionTable(
+            "ipv4_lpm", [("dst", MatchKind.LPM, 32)], max_entries=12288
+        )
+        self.rewrite_table = MatchActionTable(
+            "l2_rewrite", [("port", MatchKind.EXACT, 16)], max_entries=16384
+        )
+        switch.add_table(self.route_table)
+        switch.add_table(self.rewrite_table)
+        self.stats = switch.registers.define("flow_stats", 32, stats_size)
+        self._egress: Optional[int] = None
+        self.route_table.register_action("set_egress", self._set_egress)
+        self.route_table.register_action("drop", self._route_drop)
+        self.route_table.set_default("drop")
+        self.rewrite_table.register_action("rewrite", lambda **_: None)
+        self.rewrite_table.set_default("rewrite")
+        self._dropped = False
+
+    def install(self) -> "L3ForwardingDataplane":
+        self.switch.pipeline.add_stage("l3fwd", self._stage)
+        return self
+
+    # -- control-plane configuration -----------------------------------------
+
+    def add_route(self, prefix: int, prefix_len: int, egress_port: int) -> None:
+        """Install an LPM route: dst/prefix_len -> egress_port."""
+        self.route_table.insert(TableEntry(
+            key=((prefix, prefix_len),), action="set_egress",
+            params={"port": egress_port},
+        ))
+
+    # -- actions ---------------------------------------------------------------
+
+    def _set_egress(self, port: int) -> None:
+        self._egress = port
+        self._dropped = False
+
+    def _route_drop(self) -> None:
+        self._egress = None
+        self._dropped = True
+
+    # -- pipeline stage ----------------------------------------------------------
+
+    def _stage(self, ctx: PipelineContext) -> None:
+        packet = ctx.packet
+        if not packet.has("ipv4"):
+            return
+        ipv4 = packet.get("ipv4")
+        if ipv4["ttl"] == 0:
+            ctx.drop("ttl exceeded")
+            return
+        ipv4["ttl"] -= 1
+        self._egress = None
+        self.route_table.lookup(ipv4["dst"])
+        if self._egress is None:
+            ctx.drop("no route")
+            return
+        self.rewrite_table.lookup(self._egress)
+        self.stats.read_modify_write(
+            ipv4["flow_id"] % self.stats.size, lambda v: v + 1
+        )
+        ctx.emit(self._egress)

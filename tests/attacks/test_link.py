@@ -1,0 +1,158 @@
+"""On-link adversaries and key-exchange tampering."""
+
+from repro.attacks.base import Eavesdropper, MessageDropper
+from repro.attacks.link import KeyExchangeTamperer, ProbeFieldTamperer
+from repro.core.constants import P4AUTH
+from repro.systems.hula import make_probe
+from tests.conftest import Deployment
+
+
+def probe_deployment():
+    return Deployment(num_switches=2,
+                      connect_pairs=[("s1", 1, "s2", 1)],
+                      protected_headers=("hula_probe",))
+
+
+def forwarding_stage(dep, name, out_port):
+    switch = dep.switch(name)
+    # Insert before the sign stage (index -1 == before last).
+    switch.pipeline.insert_stage(
+        len(switch.pipeline.stage_names()) - 1, "app",
+        lambda ctx: ctx.emit(out_port) if ctx.packet.has("hula_probe")
+        else None)
+
+
+class TestProbeFieldTamperer:
+    def test_tampered_probe_dropped_by_p4auth(self):
+        dep = probe_deployment()
+        forwarding_stage(dep, "s1", 1)  # s1 forwards probes to s2
+        link = dep.net.link_between("s1", "s2")
+        adversary = ProbeFieldTamperer("hula_probe", "path_util", 7)
+        adversary.attach(link)
+        node = dep.net.nodes["s1"]
+        dep.sim.schedule(0.0, node.receive, make_probe(1, 1, path_util=50), 2)
+        dep.run(1.0)
+        assert adversary.stats.modified == 1
+        assert dep.dataplanes["s2"].stats.digest_fail_dpdp == 1
+        assert any(a.switch == "s2" for a in dep.controller.alerts)
+
+    def test_untampered_probe_passes(self):
+        dep = probe_deployment()
+        forwarding_stage(dep, "s1", 1)
+        node = dep.net.nodes["s1"]
+        dep.sim.schedule(0.0, node.receive, make_probe(1, 1, path_util=50), 2)
+        dep.run(1.0)
+        assert dep.dataplanes["s2"].stats.feedback_verified == 1
+        assert dep.dataplanes["s2"].stats.digest_fail_dpdp == 0
+
+    def test_callable_value_transform(self):
+        adversary = ProbeFieldTamperer("hula_probe", "path_util",
+                                       lambda v: v // 2)
+        probe = make_probe(1, 1, path_util=80)
+        out = adversary.process(probe, "a->b")
+        assert out.get("hula_probe")["path_util"] == 40
+
+    def test_direction_filter(self):
+        adversary = ProbeFieldTamperer("hula_probe", "path_util", 0,
+                                       direction_filter="a->b")
+        probe = make_probe(1, 1, path_util=80)
+        assert adversary._tap(probe, "b->a").get("hula_probe")["path_util"] == 80
+        assert adversary._tap(probe, "a->b").get("hula_probe")["path_util"] == 0
+
+
+class TestKeyExchangeTamperer:
+    def test_tampered_local_exchange_detected_not_installed(self):
+        dep = Deployment(num_switches=1, bootstrap=False)
+        adversary = KeyExchangeTamperer(flip_mask=0b1)
+        adversary.attach(dep.net.control_channels["s1"])
+        dep.controller.kmp.local_key_init("s1")
+        dep.run(1.0)
+        # The exchange never completes with a corrupted key: either it
+        # stalls (digest mismatch detected) or — critically — the two
+        # sides never end up with different keys silently.
+        controller_has = dep.controller.keys.has_local_key("s1")
+        dp_key = dep.dataplanes["s1"].keys.local_key()
+        if controller_has and dp_key:
+            assert dep.controller.keys.local_key("s1") == dp_key
+        assert (dep.dataplanes["s1"].stats.digest_fail_cdp > 0
+                or dep.controller.stats.tampered_responses > 0)
+
+    def test_tampered_port_update_detected(self):
+        dep = Deployment(num_switches=2,
+                         connect_pairs=[("s1", 1, "s2", 1)])
+        k_before = dep.dataplanes["s1"].keys.port_key(1)
+        adversary = KeyExchangeTamperer(flip_mask=0b10)
+        adversary.attach(dep.net.link_between("s1", "s2"))
+        dep.controller.kmp.port_key_update("s1", 1)
+        dep.run(1.0)
+        k1 = dep.dataplanes["s1"].keys.port_key(1)
+        k2 = dep.dataplanes["s2"].keys.port_key(1)
+        # No silent desynchronization: the tampered exchange is detected
+        # (alert / digest-fail), and any completed side still talks to
+        # the other via the versioned old key.
+        assert adversary.stats.modified >= 1
+        assert (dep.dataplanes["s1"].stats.digest_fail_dpdp
+                + dep.dataplanes["s2"].stats.digest_fail_dpdp) >= 1
+        assert k_before in (k1, dep.dataplanes["s1"].keys.port_key(1, 0),
+                            dep.dataplanes["s1"].keys.port_key(1, 1))
+
+    def test_salt_tampering_also_detected(self):
+        dep = Deployment(num_switches=1, bootstrap=False)
+        adversary = KeyExchangeTamperer(flip_mask=0xFF, tamper_salt=True)
+        adversary.attach(dep.net.control_channels["s1"])
+        dep.controller.kmp.local_key_init("s1")
+        dep.run(1.0)
+        assert (dep.dataplanes["s1"].stats.digest_fail_cdp > 0
+                or dep.controller.stats.tampered_responses > 0)
+
+
+class TestPassiveAdversaries:
+    def test_eavesdropper_records_without_modifying(self):
+        dep = probe_deployment()
+        forwarding_stage(dep, "s1", 1)
+        spy = Eavesdropper(lambda p: p.has("hula_probe"))
+        spy.attach(dep.net.link_between("s1", "s2"))
+        node = dep.net.nodes["s1"]
+        dep.sim.schedule(0.0, node.receive, make_probe(1, 1, path_util=50), 2)
+        dep.run(1.0)
+        assert spy.stats.recorded == 1
+        assert dep.dataplanes["s2"].stats.feedback_verified == 1
+
+    def test_eavesdropper_never_sees_port_key(self):
+        """Passive capture of the full bootstrap: no recorded field equals
+        the derived port key (confidentiality of the shared secret)."""
+        dep = Deployment(num_switches=2,
+                         connect_pairs=[("s1", 1, "s2", 1)],
+                         bootstrap=False)
+        spies = [Eavesdropper() for _ in range(3)]
+        spies[0].attach(dep.net.control_channels["s1"])
+        spies[1].attach(dep.net.control_channels["s2"])
+        spies[2].attach(dep.net.link_between("s1", "s2"))
+        dep.controller.kmp.bootstrap_all()
+        dep.run(2.0)
+        k_port = dep.dataplanes["s1"].keys.port_key(1)
+        assert k_port != 0
+        observed_words = set()
+        for spy in spies:
+            for packet in spy.recordings:
+                for name in packet.header_names():
+                    observed_words.update(packet.get(name).fields().values())
+        assert k_port not in observed_words
+
+    def test_dropper_starves_exchange(self):
+        dep = Deployment(num_switches=1, bootstrap=False)
+        dropper = MessageDropper(lambda p: p.has(P4AUTH))
+        dropper.attach(dep.net.control_channels["s1"])
+        dep.controller.kmp.local_key_init("s1")
+        dep.run(1.0)
+        assert dropper.stats.dropped >= 1
+        assert not dep.controller.keys.has_local_key("s1")
+
+    def test_detach_all(self):
+        dep = Deployment(num_switches=1, bootstrap=False)
+        dropper = MessageDropper()
+        dropper.attach(dep.net.control_channels["s1"])
+        dropper.detach_all()
+        dep.controller.kmp.local_key_init("s1")
+        dep.run(1.0)
+        assert dep.controller.keys.has_local_key("s1")

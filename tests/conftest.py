@@ -1,0 +1,67 @@
+"""Shared fixtures: small provisioned deployments used across suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.auth_dataplane import P4AuthConfig, P4AuthDataplane
+from repro.core.controller import P4AuthController
+from repro.dataplane.switch import DataplaneSwitch
+from repro.net.network import Network
+from repro.net.simulator import EventSimulator
+
+
+class Deployment:
+    """One controller + N switches, fully keyed and ready."""
+
+    def __init__(self, num_switches=1, num_ports=4, connect_pairs=(),
+                 protected_headers=(), bootstrap=True, registers=()):
+        self.sim = EventSimulator()
+        self.net = Network(self.sim)
+        self.dataplanes = {}
+        for index in range(1, num_switches + 1):
+            name = f"s{index}"
+            switch = DataplaneSwitch(name, num_ports=num_ports,
+                                     seed=1000 + index)
+            self.net.add_switch(switch)
+            for reg_name, width, size in registers:
+                switch.registers.define(f"{reg_name}", width, size)
+            dataplane = P4AuthDataplane(
+                switch, k_seed=0xBEE0 + index,
+                config=P4AuthConfig(
+                    protected_headers=set(protected_headers)),
+            ).install()
+            for reg_name, _w, _s in registers:
+                dataplane.map_register(reg_name)
+            self.dataplanes[name] = dataplane
+        for (name_a, port_a, name_b, port_b) in connect_pairs:
+            self.net.connect(name_a, port_a, name_b, port_b)
+        self.controller = P4AuthController(self.net)
+        for dataplane in self.dataplanes.values():
+            self.controller.provision(dataplane)
+        if bootstrap:
+            finished = []
+            self.controller.kmp.bootstrap_all(
+                on_done=lambda: finished.append(self.sim.now))
+            self.sim.run(until=5.0)
+            assert finished, "key bootstrap did not complete"
+
+    def switch(self, name: str) -> DataplaneSwitch:
+        return self.net.switch(name)
+
+    def run(self, for_s: float) -> None:
+        self.sim.run(until=self.sim.now + for_s)
+
+
+@pytest.fixture
+def single_switch():
+    """One switch with a demo register, keys established."""
+    return Deployment(num_switches=1, registers=[("demo", 64, 16)])
+
+
+@pytest.fixture
+def switch_pair():
+    """Two switches joined on port 1, all keys established."""
+    return Deployment(num_switches=2,
+                      connect_pairs=[("s1", 1, "s2", 1)],
+                      registers=[("demo", 64, 16)])

@@ -1,0 +1,206 @@
+"""Edge branches of the data-plane module and cross-flavor deployments."""
+
+import pytest
+
+from repro.core.auth_dataplane import P4AuthConfig, P4AuthDataplane
+from repro.core.constants import (
+    AlertCode,
+    HdrType,
+    KeyExchType,
+    P4AUTH,
+)
+from repro.core.controller import P4AuthController
+from repro.core.digest import DigestEngine
+from repro.core.messages import (
+    build_adhkd_message,
+    build_keyctl_message,
+)
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import Drop, ToController
+from repro.dataplane.switch import DataplaneSwitch
+from repro.net.network import Network
+from repro.net.simulator import EventSimulator
+
+K_SEED = 0x5EED
+K_LOCAL = 0x10CA1
+
+
+def keyed_dataplane(**config_kwargs):
+    switch = DataplaneSwitch("s1", num_ports=4)
+    dataplane = P4AuthDataplane(switch, K_SEED,
+                                config=P4AuthConfig(**config_kwargs))
+    dataplane.install()
+    dataplane.keys.set_local_key(K_LOCAL)
+    return switch, dataplane
+
+
+def alerts_of(actions):
+    return [a.packet for a in actions
+            if isinstance(a, ToController)
+            and a.packet.has(P4AUTH)
+            and a.packet.get(P4AUTH)["hdrType"] == HdrType.ALERT]
+
+
+class TestKeyExchangeEdges:
+    def test_port_key_start_invalid_port_alerts(self):
+        switch, dataplane = keyed_dataplane()
+        message = build_keyctl_message(KeyExchType.PORT_KEY_INIT, 99, 1)
+        DigestEngine().sign(K_LOCAL, message)
+        actions = switch.process(message, 0)
+        assert any(isinstance(a, Drop) for a in actions)
+        alert = alerts_of(actions)[0]
+        assert alert.get("alert")["code"] == AlertCode.KEY_EXCHANGE_TAMPER
+
+    def test_msg2_without_pending_exchange_alerts(self):
+        switch, dataplane = keyed_dataplane()
+        message = build_adhkd_message(KeyExchType.ADHKD_MSG2, 1, 2, 1)
+        message.get(P4AUTH)["flags"] = 2  # claims a pending port exchange
+        DigestEngine().sign(K_LOCAL, message)
+        actions = switch.process(message, 0)
+        assert any(isinstance(a, Drop) for a in actions)
+        assert dataplane.stats.alerts_raised == 1
+
+    def test_unexpected_exchange_type_on_link_dropped(self):
+        switch, dataplane = keyed_dataplane()
+        dataplane.keys.set_port_key(1, 0x77)
+        message = build_keyctl_message(KeyExchType.PORT_KEY_INIT, 1, 1)
+        DigestEngine().sign(0x77, message)
+        actions = switch.process(message, 1)
+        assert any(isinstance(a, Drop) for a in actions)
+
+    def test_exchange_with_wrong_payload_dropped(self):
+        """Structurally invalid: an EAK msgType carrying an ADHKD body."""
+        switch, dataplane = keyed_dataplane()
+        message = build_adhkd_message(KeyExchType.ADHKD_MSG1, 1, 2, 1)
+        message.get(P4AUTH)["msgType"] = int(KeyExchType.EAK_SALT1)
+        DigestEngine().sign(K_SEED, message)
+        actions = switch.process(message, 0)
+        assert any(isinstance(a, Drop) for a in actions)
+
+
+class TestAlertSigningFallback:
+    def test_alert_signed_with_seed_before_any_key(self):
+        """Alerts raised during bootstrap fall back to K_seed; the
+        controller still authenticates them."""
+        sim = EventSimulator()
+        net = Network(sim)
+        switch = DataplaneSwitch("s1", num_ports=2)
+        net.add_switch(switch)
+        dataplane = P4AuthDataplane(
+            switch, K_SEED,
+            config=P4AuthConfig(protected_headers={"hula_probe"})).install()
+        dataplane.keys.set_port_key(1, 0x99)
+        controller = P4AuthController(net)
+        controller.provision(dataplane)
+        # A tampered probe on the keyed port, before K_local exists.
+        from repro.systems.hula import make_probe
+        node = net.nodes["s1"]
+        sim.schedule(0.0, node.receive, make_probe(1, 1), 1)
+        sim.run(until=1.0)
+        assert len(controller.alerts) == 1
+        assert controller.stats.tampered_responses == 0
+
+
+class TestStrictCpuOff:
+    def test_raw_reg_op_passes_when_not_strict(self):
+        switch, dataplane = keyed_dataplane(strict_cpu=False)
+        from repro.core.constants import REG_OP_HEADER
+        raw = Packet()
+        raw.push("reg_op", REG_OP_HEADER.instantiate(regId=1, index=0,
+                                                     value=9))
+        actions = switch.process(raw, 0)
+        # Not dropped by P4Auth (though nothing serves it either).
+        assert not any(isinstance(a, Drop) for a in actions)
+        assert dataplane.stats.unauthenticated_dropped == 0
+
+
+class TestCrc32Flavor:
+    """The Tofino deployment: CRC32 digests end to end."""
+
+    def build(self):
+        sim = EventSimulator()
+        net = Network(sim)
+        switch = DataplaneSwitch("s1", num_ports=2,
+                                 hash_algorithm="crc32")
+        net.add_switch(switch)
+        switch.registers.define("demo", 64, 8)
+        dataplane = P4AuthDataplane(switch, K_SEED).install()
+        dataplane.map_register("demo")
+        controller = P4AuthController(net, algorithm="crc32")
+        controller.provision(dataplane)
+        controller.kmp.local_key_init("s1")
+        sim.run(until=0.5)
+        return sim, net, switch, dataplane, controller
+
+    def test_kmp_and_reg_ops_work(self):
+        sim, net, switch, dataplane, controller = self.build()
+        assert controller.keys.has_local_key("s1")
+        results = []
+        controller.write_register("s1", "demo", 1, 0x42,
+                                  lambda ok, v: results.append((ok, v)))
+        sim.run(until=1.0)
+        assert results == [(True, 0x42)]
+
+    def test_tamper_still_detected(self):
+        sim, net, switch, dataplane, controller = self.build()
+
+        def tamper(packet, direction):
+            if direction == "c->dp" and packet.has("reg_op"):
+                packet.get("reg_op")["value"] ^= 1
+            return packet
+
+        net.control_channels["s1"].add_tap(tamper)
+        results = []
+        controller.write_register("s1", "demo", 1, 0x42,
+                                  lambda ok, v: results.append(ok))
+        sim.run(until=1.0)
+        assert results == [False]
+
+    def test_mixed_flavors_cannot_interoperate(self):
+        """A halfsiphash controller against a crc32 switch never
+        verifies — catching deployment misconfiguration loudly."""
+        sim = EventSimulator()
+        net = Network(sim)
+        switch = DataplaneSwitch("s1", num_ports=2,
+                                 hash_algorithm="crc32")
+        net.add_switch(switch)
+        dataplane = P4AuthDataplane(switch, K_SEED).install()
+        controller = P4AuthController(net, algorithm="halfsiphash")
+        controller.provision(dataplane)
+        controller.kmp.local_key_init("s1")
+        sim.run(until=1.0)
+        assert not controller.keys.has_local_key("s1")
+        assert dataplane.stats.digest_fail_cdp > 0
+
+
+class TestSignStageEdges:
+    def test_non_protected_emit_to_keyed_port_untouched(self):
+        switch, dataplane = keyed_dataplane(
+            protected_headers={"hula_probe"})
+        dataplane.keys.set_port_key(2, 0x22)
+        switch.pipeline.insert_stage(1, "app", lambda ctx: ctx.emit(2))
+        packet = Packet(payload=b"plain data")
+        actions = switch.process(packet, 1)
+        out = [a for a in actions if not isinstance(a, Drop)][0].packet
+        assert not out.has(P4AUTH)
+
+    def test_probe_multicast_each_copy_signed_for_its_port(self):
+        from repro.systems.hula import make_probe
+        switch, dataplane = keyed_dataplane(
+            protected_headers={"hula_probe"})
+        dataplane.keys.set_port_key(2, 0x22)
+        dataplane.keys.set_port_key(3, 0x33)
+
+        def fan(ctx):
+            if ctx.packet.has("hula_probe"):
+                ctx.emit(2, ctx.packet.copy())
+                ctx.emit(3, ctx.packet.copy())
+
+        switch.pipeline.insert_stage(1, "app", fan)
+        actions = switch.process(make_probe(1, 1), 4)  # unkeyed ingress
+        from repro.dataplane.pipeline import Emit
+        emits = {a.port: a.packet for a in actions if isinstance(a, Emit)}
+        engine = DigestEngine()
+        assert engine.verify(0x22, emits[2])
+        assert engine.verify(0x33, emits[3])
+        assert not engine.verify(0x22, emits[3])

@@ -1,0 +1,97 @@
+"""DigestEngine: sign/verify symmetry, tamper sensitivity, accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.digest import DigestEngine
+from repro.core.messages import build_reg_write_request
+from repro.dataplane.externs import HashExtern
+
+KEY = 0xA5A5A5A55A5A5A5A
+
+
+def signed_message(engine, key=KEY, value=0xBEEF, seq=1):
+    message = build_reg_write_request(1, 0, value, seq)
+    engine.sign(key, message)
+    return message
+
+
+def test_sign_then_verify():
+    engine = DigestEngine()
+    message = signed_message(engine)
+    assert engine.verify(KEY, message)
+
+
+def test_wrong_key_fails():
+    engine = DigestEngine()
+    message = signed_message(engine)
+    assert not engine.verify(KEY ^ 1, message)
+
+
+def test_payload_tamper_fails():
+    engine = DigestEngine()
+    message = signed_message(engine)
+    message.get("reg_op")["value"] = 0xDEAD
+    assert not engine.verify(KEY, message)
+
+
+def test_header_tamper_fails():
+    engine = DigestEngine()
+    message = signed_message(engine)
+    message.get("p4auth")["seqNum"] = 999
+    assert not engine.verify(KEY, message)
+
+
+def test_digest_field_tamper_fails():
+    engine = DigestEngine()
+    message = signed_message(engine)
+    message.get("p4auth")["digest"] ^= 1
+    assert not engine.verify(KEY, message)
+
+
+def test_extern_and_software_agree():
+    extern_engine = DigestEngine(extern=HashExtern("halfsiphash"))
+    software_engine = DigestEngine(algorithm="halfsiphash")
+    message = signed_message(extern_engine)
+    assert software_engine.verify(KEY, message)
+
+
+def test_crc_flavor_differs_from_halfsiphash():
+    hsh = DigestEngine(algorithm="halfsiphash")
+    crc = DigestEngine(algorithm="crc32")
+    message = build_reg_write_request(1, 0, 1, 1)
+    assert hsh.compute(KEY, message) != crc.compute(KEY, message)
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        DigestEngine(algorithm="sha256")
+
+
+def test_extern_invocations_counted():
+    extern = HashExtern("halfsiphash")
+    engine = DigestEngine(extern=extern)
+    message = signed_message(engine)
+    engine.verify(KEY, message)
+    assert extern.invocations == 2  # one sign + one verify
+
+
+def test_verify_counters():
+    engine = DigestEngine()
+    message = signed_message(engine)
+    engine.verify(KEY, message)
+    engine.verify(KEY ^ 1, message)
+    assert engine.verified_ok == 1
+    assert engine.verified_fail == 1
+    assert engine.computed == 3  # sign + 2 verifies
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.integers(min_value=0, max_value=(1 << 32) - 1))
+@settings(max_examples=50, deadline=None)
+def test_sign_verify_roundtrip_property(key, value, seq):
+    engine = DigestEngine()
+    message = build_reg_write_request(3, 1, value, seq)
+    engine.sign(key, message)
+    assert engine.verify(key, message)

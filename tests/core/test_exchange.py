@@ -1,0 +1,143 @@
+"""EAK and ADHKD endpoint logic: agreement, state handling, secrecy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exchange import AdhkdEndpoint, EakEndpoint, combine_salts
+from repro.crypto.modified_dh import DhParameters, dh_shared
+from repro.crypto.prng import XorShiftPrng
+
+
+def test_combine_salts_uses_low_lanes():
+    assert combine_salts(0xFFFF_FFFF_0000_0001,
+                         0xAAAA_AAAA_0000_0002) == 0x0000_0001_0000_0002
+
+
+class TestEak:
+    def test_both_sides_derive_same_kauth(self):
+        seed = 0x5EED5EED5EED5EED
+        controller = EakEndpoint(seed, XorShiftPrng(1))
+        dataplane = EakEndpoint(seed, XorShiftPrng(2))
+        salt1 = controller.start()
+        salt2, k_auth_dp = dataplane.respond(salt1)
+        k_auth_c = controller.finish(salt2)
+        assert k_auth_c == k_auth_dp
+
+    def test_different_seed_diverges(self):
+        controller = EakEndpoint(1, XorShiftPrng(1))
+        dataplane = EakEndpoint(2, XorShiftPrng(2))
+        salt1 = controller.start()
+        salt2, k_auth_dp = dataplane.respond(salt1)
+        assert controller.finish(salt2) != k_auth_dp
+
+    def test_finish_without_start_rejected(self):
+        endpoint = EakEndpoint(1, XorShiftPrng(1))
+        with pytest.raises(RuntimeError):
+            endpoint.finish(0)
+
+    def test_state_consumed_after_finish(self):
+        endpoint = EakEndpoint(1, XorShiftPrng(1))
+        endpoint.start()
+        endpoint.finish(0)
+        with pytest.raises(RuntimeError):
+            endpoint.finish(0)
+
+    def test_fresh_salts_fresh_keys(self):
+        seed = 0x1234
+        c1, d1 = EakEndpoint(seed, XorShiftPrng(1)), EakEndpoint(seed, XorShiftPrng(2))
+        c2, d2 = EakEndpoint(seed, XorShiftPrng(3)), EakEndpoint(seed, XorShiftPrng(4))
+        s1 = c1.start()
+        key_a = d1.respond(s1)[1]
+        s2 = c2.start()
+        key_b = d2.respond(s2)[1]
+        assert key_a != key_b
+
+
+class TestAdhkd:
+    def test_both_sides_derive_same_master(self):
+        initiator = AdhkdEndpoint(XorShiftPrng(10))
+        responder = AdhkdEndpoint(XorShiftPrng(20))
+        pk1, salt1 = initiator.start()
+        pk2, salt2, master_r = responder.respond(pk1, salt1)
+        master_i = initiator.finish(pk2, salt2)
+        assert master_i == master_r
+
+    def test_pending_state_roundtrip(self):
+        """DP initiators persist (R1, S1) in registers and resume."""
+        initiator = AdhkdEndpoint(XorShiftPrng(10))
+        pk1, salt1 = initiator.start()
+        r1, s1 = initiator.pending_state()
+        responder = AdhkdEndpoint(XorShiftPrng(20))
+        pk2, salt2, master_r = responder.respond(pk1, salt1)
+
+        resumed = AdhkdEndpoint(XorShiftPrng(99))
+        resumed.resume(r1, s1)
+        assert resumed.finish(pk2, salt2) == master_r
+
+    def test_finish_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            AdhkdEndpoint(XorShiftPrng(1)).finish(0, 0)
+        with pytest.raises(RuntimeError):
+            AdhkdEndpoint(XorShiftPrng(1)).pending_state()
+
+    def test_tampered_pk_desynchronizes(self):
+        """Without authentication, a MitM flipping PK bits silently
+        desynchronizes the derived keys — the R3 failure mode."""
+        initiator = AdhkdEndpoint(XorShiftPrng(10))
+        responder = AdhkdEndpoint(XorShiftPrng(20))
+        pk1, salt1 = initiator.start()
+        pk2, salt2, master_r = responder.respond(pk1 ^ 0b100, salt1)
+        master_i = initiator.finish(pk2, salt2)
+        assert master_i != master_r
+
+    def test_eavesdropper_with_group_constants_inverts_dh(self):
+        """Documented weakness of the paper's modified DH (DESIGN.md):
+        PK = (G XOR P) AND R, so an eavesdropper who knows the group
+        constants recovers the pre-master as (PK1 AND PK2) XOR P.  The
+        paper's own security argument (§VIII, §XI) therefore rests on
+        keeping P/G and the KDF logic secret inside the P4 binary, not
+        on DH hardness.  We reproduce the algebra faithfully and assert
+        it, so the property is visible rather than hidden."""
+        initiator = AdhkdEndpoint(XorShiftPrng(10))
+        responder = AdhkdEndpoint(XorShiftPrng(20))
+        pk1, salt1 = initiator.start()
+        pk2, salt2, master = responder.respond(pk1, salt1)
+        assert initiator.finish(pk2, salt2) == master
+
+        params = DhParameters()
+        from repro.crypto.kdf import kdf
+        salt = combine_salts(salt1, salt2)
+        recovered_premaster = (pk1 & pk2) ^ params.prime
+        assert kdf(recovered_premaster, salt) == master
+
+    def test_eavesdropper_without_group_constants_fails(self):
+        """Without the (binary-resident) group constants and KDF logic,
+        observing (PK1, S1, PK2, S2) does not yield the master secret —
+        the boundary the paper's obfuscation argument defends."""
+        initiator = AdhkdEndpoint(XorShiftPrng(10))
+        responder = AdhkdEndpoint(XorShiftPrng(20))
+        pk1, salt1 = initiator.start()
+        pk2, salt2, master = responder.respond(pk1, salt1)
+        initiator.finish(pk2, salt2)
+
+        from repro.crypto.kdf import kdf
+        salt = combine_salts(salt1, salt2)
+        guesses = [
+            kdf(pk1 & pk2, salt),            # missing the XOR with P
+            kdf(pk1 ^ pk2, salt),
+            kdf(pk1, salt),
+            kdf(pk2, salt),
+            kdf((pk1 & pk2) ^ 0x1234, salt),  # wrong P guess
+            (pk1 & pk2),                      # skipping the private KDF
+        ]
+        assert master not in guesses
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_property(self, seed_a, seed_b):
+        initiator = AdhkdEndpoint(XorShiftPrng(seed_a or 1))
+        responder = AdhkdEndpoint(XorShiftPrng(seed_b or 2))
+        pk1, salt1 = initiator.start()
+        pk2, salt2, master_r = responder.respond(pk1, salt1)
+        assert initiator.finish(pk2, salt2) == master_r

@@ -1,0 +1,90 @@
+"""Sequence-number wraparound (§VIII replay-defense corner case).
+
+The paper: "A corner possibility for the attacker to succeed is if the
+sequence number wraps around to the same value as in the recorded
+message.  This can be further mitigated by allocating more bits ... and
+changing the local and port keys within the wrap-around time so the
+replayed message's digest becomes invalid."
+
+These tests pin the implemented behavior at the 32-bit boundary and
+demonstrate exactly the paper's mitigation: a key rollover before the
+wrap invalidates recorded messages outright.
+"""
+
+from repro.core.constants import P4AUTH
+from repro.core.digest import DigestEngine
+from repro.core.messages import build_reg_write_request
+from tests.conftest import Deployment
+
+SEQ_MAX = 0xFFFFFFFF
+
+
+def signed_write(dep, seq, value):
+    switch = dep.switch("s1")
+    message = build_reg_write_request(
+        switch.registers.id_of("demo"), 0, value, seq)
+    message.get(P4AUTH)["keyVer"] = \
+        dep.controller.keys.local_key_version("s1")
+    DigestEngine().sign(dep.controller.keys.local_key("s1"), message)
+    return message
+
+
+def inject(dep, message):
+    node = dep.net.nodes["s1"]
+    dep.sim.schedule(0.0, node.receive, message.copy(), 0)
+    dep.run(0.1)
+
+
+def test_expected_seq_wraps_to_zero(single_switch):
+    dep = single_switch
+    dataplane = dep.dataplanes["s1"]
+    inject(dep, signed_write(dep, SEQ_MAX, 0x1))
+    # expected_seq advanced past the maximum, wrapping to 0.
+    assert dataplane._expected_seq.read(0) == 0
+    # A seq-0 message after the wrap is accepted (not a false replay).
+    inject(dep, signed_write(dep, 0, 0x2))
+    assert dep.switch("s1").registers.get("demo").read(0) == 0x2
+    assert dataplane.stats.replays_detected == 0
+
+
+def test_wraparound_replay_window_exists_without_rollover(single_switch):
+    """The documented corner: after a wrap, an old recorded message's
+    sequence number can look fresh again (still authenticated, so the
+    value it re-applies is a *stale authorized* value, not arbitrary)."""
+    dep = single_switch
+    recorded = signed_write(dep, 5, 0xAAAA)
+    inject(dep, recorded)           # applied at seq 5
+    inject(dep, signed_write(dep, SEQ_MAX, 0xBBBB))  # wrap
+    inject(dep, recorded)           # seq 5 >= expected 0: accepted again
+    assert dep.switch("s1").registers.get("demo").read(0) == 0xAAAA
+
+
+def test_one_rollover_does_not_retire_the_old_key(single_switch):
+    """Two-version consistency keeps the previous key addressable for
+    exactly one rollover: a message recorded under it still verifies.
+    This is the §VI-C availability/security trade-off made explicit."""
+    dep = single_switch
+    recorded = signed_write(dep, 5, 0xAAAA)
+    inject(dep, recorded)
+    dep.controller.kmp.local_key_update("s1")
+    dep.run(1.0)
+    inject(dep, signed_write(dep, SEQ_MAX, 0xBBBB))
+    inject(dep, recorded)  # old slot still holds the recorded key
+    assert dep.switch("s1").registers.get("demo").read(0) == 0xAAAA
+
+
+def test_two_rollovers_close_the_wraparound_window(single_switch):
+    """The paper's mitigation, precisely: after the slot the recorded
+    message was signed under is overwritten (the *second* rollover), the
+    replay's digest is invalid regardless of sequence numbers."""
+    dep = single_switch
+    recorded = signed_write(dep, 5, 0xAAAA)
+    inject(dep, recorded)
+    for _ in range(2):
+        dep.controller.kmp.local_key_update("s1")
+        dep.run(1.0)
+    inject(dep, signed_write(dep, SEQ_MAX, 0xBBBB))
+    before = dep.dataplanes["s1"].stats.digest_fail_cdp
+    inject(dep, recorded)
+    assert dep.switch("s1").registers.get("demo").read(0) == 0xBBBB
+    assert dep.dataplanes["s1"].stats.digest_fail_cdp == before + 1

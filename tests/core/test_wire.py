@@ -1,0 +1,123 @@
+"""Wire codec: byte-exact round trips and malformed-input rejection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constants import AlertCode, KeyExchType, P4AUTH
+from repro.core.digest import DigestEngine
+from repro.core.messages import (
+    build_adhkd_message,
+    build_alert,
+    build_eak_message,
+    build_keyctl_message,
+    build_reg_read_request,
+    build_reg_write_request,
+)
+from repro.core.wire import WireFormatError, parse_message, serialize_message
+from repro.systems.hula import HULA_PROBE_HEADER, make_probe
+
+U32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def roundtrip(packet):
+    return parse_message(serialize_message(packet))
+
+
+class TestRoundTrips:
+    @given(U32, U32, U64, U32)
+    @settings(max_examples=40, deadline=None)
+    def test_reg_write(self, reg_id, index, value, seq):
+        original = build_reg_write_request(reg_id, index, value, seq)
+        parsed = roundtrip(original)
+        assert parsed.get(P4AUTH) == original.get(P4AUTH)
+        assert parsed.get("reg_op") == original.get("reg_op")
+
+    def test_all_message_kinds(self):
+        messages = [
+            build_reg_read_request(1, 2, 3),
+            build_reg_write_request(1, 2, 3, 4),
+            build_eak_message(KeyExchType.EAK_SALT1, 0xABCD, 1),
+            build_adhkd_message(KeyExchType.ADHKD_MSG2, 7, 8, 2),
+            build_adhkd_message(KeyExchType.UPD_MSG1, 7, 8, 2),
+            build_keyctl_message(KeyExchType.PORT_KEY_INIT, 3, 5),
+            build_alert(AlertCode.REPLAY_SUSPECTED, 99, 6),
+        ]
+        for original in messages:
+            parsed = roundtrip(original)
+            assert parsed.serialize() == original.serialize()
+
+    def test_digest_survives_the_wire(self):
+        """Sign, serialize, parse, verify — the full path."""
+        engine = DigestEngine()
+        key = 0xFEEDFACE
+        message = build_reg_write_request(1, 0, 0xBEEF, 9)
+        engine.sign(key, message)
+        parsed = roundtrip(message)
+        assert engine.verify(key, parsed)
+
+    def test_bit_flip_on_the_wire_detected(self):
+        engine = DigestEngine()
+        key = 0xFEEDFACE
+        message = build_reg_write_request(1, 0, 0xBEEF, 9)
+        engine.sign(key, message)
+        wire = bytearray(serialize_message(message))
+        wire[-3] ^= 0x40  # flip a payload bit in flight
+        parsed = parse_message(bytes(wire))
+        assert not engine.verify(key, parsed)
+
+    def test_feedback_message_with_app_header(self):
+        from repro.core.constants import P4AUTH_HEADER, HdrType
+        probe = make_probe(5, 9, path_util=42)
+        probe.push(P4AUTH, P4AUTH_HEADER.instantiate(
+            hdrType=int(HdrType.DP_FEEDBACK)))
+        # Serialize puts the probe header before p4auth (stack order);
+        # reorder for the canonical wire layout: p4auth first.
+        wire = (probe.get(P4AUTH).serialize()
+                + probe.get("hula_probe").serialize())
+        parsed = parse_message(wire, feedback_header=HULA_PROBE_HEADER)
+        assert parsed.get("hula_probe")["path_util"] == 42
+
+
+class TestMalformedInput:
+    def test_truncated_header(self):
+        with pytest.raises(WireFormatError):
+            parse_message(b"\x01\x02\x03")
+
+    def test_truncated_payload(self):
+        wire = serialize_message(build_reg_read_request(1, 2, 3))
+        with pytest.raises(WireFormatError):
+            parse_message(wire[:16])
+
+    def test_unknown_hdr_type(self):
+        wire = bytearray(serialize_message(build_reg_read_request(1, 2, 3)))
+        wire[0] = 0x7F
+        with pytest.raises(WireFormatError):
+            parse_message(bytes(wire))
+
+    def test_unknown_key_exchange_subtype(self):
+        wire = bytearray(serialize_message(
+            build_eak_message(KeyExchType.EAK_SALT1, 1, 1)))
+        wire[0] = 3  # KEY_EXCHANGE
+        wire[1] = 0x7F  # bogus msgType
+        with pytest.raises(WireFormatError):
+            parse_message(bytes(wire))
+
+    def test_length_mismatch_rejected(self):
+        wire = bytearray(serialize_message(build_reg_read_request(1, 2, 3)))
+        wire[8] = 0xFF  # corrupt the length field (bytes 8-9)
+        with pytest.raises(WireFormatError):
+            parse_message(bytes(wire))
+
+    def test_non_p4auth_packet_rejected_for_serialize(self):
+        from repro.dataplane.packet import Packet
+        with pytest.raises(WireFormatError):
+            serialize_message(Packet(payload=b"raw"))
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, data):
+        try:
+            parse_message(data)
+        except WireFormatError:
+            pass  # rejection is the expected outcome for garbage

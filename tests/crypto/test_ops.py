@@ -1,0 +1,57 @@
+"""The restricted ALU helpers: masking, rotation, lane operations."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto import ops
+
+U32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@given(U32, U32)
+def test_add32_wraps(a, b):
+    assert ops.add32(a, b) == (a + b) % (1 << 32)
+
+
+@given(U32)
+def test_rotl_rotr_inverse(value):
+    for amount in (0, 1, 5, 16, 31):
+        assert ops.rotr32(ops.rotl32(value, amount), amount) == value
+
+
+@given(U32)
+def test_rotl_by_32_is_identity(value):
+    assert ops.rotl32(value, 32) == value
+
+
+@given(U32, st.integers(min_value=0, max_value=31))
+def test_rotl_preserves_popcount(value, amount):
+    assert bin(ops.rotl32(value, amount)).count("1") == bin(value).count("1")
+
+
+@given(U64, U64)
+def test_xor64_self_inverse(a, b):
+    assert ops.xor64(ops.xor64(a, b), b) == a
+
+
+@given(U64, U64)
+def test_and64_idempotent(a, b):
+    masked = ops.and64(a, b)
+    assert ops.and64(masked, b) == masked
+
+
+@given(U64)
+def test_lane_roundtrip(value):
+    assert ops.concat32(ops.hi32(value), ops.lo32(value)) == value
+
+
+@given(U32, U32)
+def test_concat_lanes(high, low):
+    combined = ops.concat32(high, low)
+    assert ops.hi32(combined) == high
+    assert ops.lo32(combined) == low
+
+
+@given(U64, st.integers(min_value=0, max_value=63))
+def test_shr64(value, amount):
+    assert ops.shr64(value, amount) == value >> amount

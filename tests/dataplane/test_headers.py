@@ -1,0 +1,92 @@
+"""Header types: field packing, parsing, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataplane.headers import Header, HeaderType
+
+DEMO = HeaderType("demo", [("a", 8), ("b", 16), ("c", 8)])
+
+
+def test_bit_and_byte_width():
+    assert DEMO.bit_width == 32
+    assert DEMO.byte_width == 4
+
+
+def test_instantiate_defaults_to_zero():
+    header = DEMO.instantiate()
+    assert header["a"] == 0 and header["b"] == 0 and header["c"] == 0
+
+
+def test_serialize_big_endian_order():
+    header = DEMO.instantiate(a=0x12, b=0x3456, c=0x78)
+    assert header.serialize() == bytes([0x12, 0x34, 0x56, 0x78])
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=65535),
+       st.integers(min_value=0, max_value=255))
+def test_serialize_parse_roundtrip(a, b, c):
+    header = DEMO.instantiate(a=a, b=b, c=c)
+    parsed = DEMO.parse(header.serialize())
+    assert parsed == header
+
+
+def test_parse_ignores_trailing_bytes():
+    header = DEMO.instantiate(a=1, b=2, c=3)
+    parsed = DEMO.parse(header.serialize() + b"extra")
+    assert parsed == header
+
+
+def test_parse_rejects_short_input():
+    with pytest.raises(ValueError):
+        DEMO.parse(b"\x00\x01")
+
+
+def test_field_value_must_fit():
+    header = DEMO.instantiate()
+    with pytest.raises(ValueError):
+        header["a"] = 256
+    with pytest.raises(ValueError):
+        header["b"] = -1
+
+
+def test_unknown_field_rejected():
+    header = DEMO.instantiate()
+    with pytest.raises(KeyError):
+        header["nope"]
+    with pytest.raises(KeyError):
+        DEMO.field_width("nope")
+
+
+def test_duplicate_fields_rejected():
+    with pytest.raises(ValueError):
+        HeaderType("bad", [("x", 8), ("x", 8)])
+
+
+def test_unaligned_header_rejected():
+    with pytest.raises(ValueError):
+        HeaderType("bad", [("x", 7)])
+
+
+def test_zero_width_field_rejected():
+    with pytest.raises(ValueError):
+        HeaderType("bad", [("x", 0), ("y", 8)])
+
+
+def test_empty_header_rejected():
+    with pytest.raises(ValueError):
+        HeaderType("bad", [])
+
+
+def test_field_words_exclusion():
+    header = DEMO.instantiate(a=1, b=2, c=3)
+    assert header.field_words() == [1, 2, 3]
+    assert header.field_words(exclude=("b",)) == [1, 3]
+
+
+def test_copy_is_independent():
+    header = DEMO.instantiate(a=1)
+    clone = header.copy()
+    clone["a"] = 2
+    assert header["a"] == 1

@@ -1,0 +1,55 @@
+"""Property tests: arbitrary header layouts pack/parse consistently."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane.headers import HeaderType
+
+
+@st.composite
+def header_layouts(draw):
+    """A random byte-aligned header layout (1-8 fields)."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    widths = [draw(st.integers(min_value=1, max_value=48))
+              for _ in range(count)]
+    total = sum(widths)
+    if total % 8:
+        widths[-1] += 8 - (total % 8)
+    return HeaderType("h", [(f"f{i}", bits)
+                            for i, bits in enumerate(widths)])
+
+
+@st.composite
+def header_instances(draw):
+    header_type = draw(header_layouts())
+    values = {
+        fname: draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        for fname, bits in header_type.fields
+    }
+    return header_type.instantiate(**values)
+
+
+@given(header_instances())
+@settings(max_examples=150, deadline=None)
+def test_serialize_parse_roundtrip(header):
+    parsed = header.header_type.parse(header.serialize())
+    assert parsed == header
+
+
+@given(header_instances())
+@settings(max_examples=100, deadline=None)
+def test_serialized_width_matches_declaration(header):
+    assert len(header.serialize()) == header.header_type.byte_width
+
+
+@given(header_layouts())
+@settings(max_examples=100, deadline=None)
+def test_zero_header_is_all_zero_bytes(header_type):
+    assert header_type.instantiate().serialize() == \
+        bytes(header_type.byte_width)
+
+
+@given(header_instances(), st.binary(max_size=16))
+@settings(max_examples=100, deadline=None)
+def test_parse_ignores_trailing_bytes(header, trailer):
+    parsed = header.header_type.parse(header.serialize() + trailer)
+    assert parsed == header

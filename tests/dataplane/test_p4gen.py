@@ -1,0 +1,80 @@
+"""P4-16 generator: structural fidelity to the running configuration."""
+
+import pytest
+
+from repro.core.auth_dataplane import P4AuthDataplane
+from repro.core.constants import P4AUTH_HEADER
+from repro.dataplane.p4gen import generate_p4, loc_estimate
+from repro.dataplane.switch import DataplaneSwitch
+
+
+@pytest.fixture
+def dataplane():
+    switch = DataplaneSwitch("s1", num_ports=8)
+    switch.registers.define("split_ratio", 64, 4)
+    switch.registers.define("path_latency", 64, 2)
+    dp = P4AuthDataplane(switch, k_seed=0x1).install()
+    dp.map_register("split_ratio")
+    dp.map_register("path_latency")
+    return dp
+
+
+def test_header_declaration_matches_wire_format(dataplane):
+    source = generate_p4(dataplane)
+    assert "header p4auth_t {" in source
+    for fname, bits in P4AUTH_HEADER.fields:
+        assert f"bit<{bits}> {fname};" in source
+
+
+def test_all_ten_register_arrays_declared(dataplane):
+    source = generate_p4(dataplane)
+    registers = dataplane.switch.registers
+    p4auth_regs = [n for n in registers.names() if n.startswith("p4auth_")]
+    assert len(p4auth_regs) == 10
+    for name in p4auth_regs:
+        register = registers.get(name)
+        assert (f"register<bit<{register.width_bits}>>"
+                f"({register.size}) {name};") in source
+
+
+def test_mapped_registers_get_actions_and_entries(dataplane):
+    source = generate_p4(dataplane)
+    for name in ("split_ratio", "path_latency"):
+        assert f"action {name}_read()" in source
+        assert f"action {name}_write()" in source
+        assert f"-> {name}_read" in source
+        assert f"-> {name}_write" in source
+
+
+def test_parser_covers_every_message_type(dataplane):
+    source = generate_p4(dataplane)
+    for state in ("parse_reg_op", "parse_eak", "parse_adhkd",
+                  "parse_keyctl", "parse_alert"):
+        assert state in source
+
+
+def test_verify_and_sign_controls_present(dataplane):
+    source = generate_p4(dataplane)
+    assert "control P4AuthVerify" in source
+    assert "control P4AuthSign" in source
+    assert "compute_digest" in source  # the paper's BMv2 extern
+
+
+def test_loc_is_in_the_papers_ballpark(dataplane):
+    """§VII: 'P4Auth data plane has 400 lines of code written in P4'.
+
+    The generated skeleton should land in the low hundreds — same order
+    as the paper's artifact."""
+    source = generate_p4(dataplane)
+    loc = loc_estimate(source)
+    assert 100 <= loc <= 500, loc
+
+
+def test_braces_balance(dataplane):
+    source = generate_p4(dataplane)
+    assert source.count("{") == source.count("}")
+
+
+def test_loc_estimate_ignores_comments_and_blanks():
+    source = "/* c */\n\n// line\nreal_line;\n/* multi\nline\ncomment */\n"
+    assert loc_estimate(source) == 1

@@ -1,0 +1,115 @@
+"""Registers and the register file (p4info id mapping)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataplane.registers import Register, RegisterFile
+
+
+def test_read_write_roundtrip():
+    register = Register("r", 32, 8)
+    register.write(3, 0xABCD)
+    assert register.read(3) == 0xABCD
+
+
+def test_initial_zero():
+    register = Register("r", 16, 4)
+    assert register.snapshot() == [0, 0, 0, 0]
+
+
+def test_bounds_checked():
+    register = Register("r", 8, 2)
+    with pytest.raises(IndexError):
+        register.read(2)
+    with pytest.raises(IndexError):
+        register.write(-1, 0)
+
+
+def test_width_enforced():
+    register = Register("r", 8, 2)
+    with pytest.raises(ValueError):
+        register.write(0, 256)
+    register.write(0, 255)
+
+
+def test_read_modify_write_masks():
+    register = Register("r", 8, 1)
+    register.write(0, 255)
+    assert register.read_modify_write(0, lambda v: v + 1) == 0
+
+
+def test_clear():
+    register = Register("r", 8, 3)
+    for index in range(3):
+        register.write(index, index + 1)
+    register.clear()
+    assert register.snapshot() == [0, 0, 0]
+
+
+def test_access_counters():
+    register = Register("r", 8, 1)
+    register.write(0, 1)
+    register.read(0)
+    register.read_modify_write(0, lambda v: v)
+    assert register.write_count == 2
+    assert register.read_count == 2
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        Register("r", 0, 1)
+    with pytest.raises(ValueError):
+        Register("r", 8, 0)
+
+
+def test_total_bits():
+    assert Register("r", 64, 65).total_bits == 64 * 65
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_mask_property(width, value):
+    register = Register("r", width, 1)
+    masked = value & register.mask
+    register.write(0, masked)
+    assert register.read(0) == masked
+
+
+class TestRegisterFile:
+    def test_ids_assigned_sequentially(self):
+        regs = RegisterFile()
+        regs.define("a", 8, 1)
+        regs.define("b", 8, 1)
+        assert regs.id_of("a") == 1
+        assert regs.id_of("b") == 2
+        assert regs.name_of(2) == "b"
+
+    def test_duplicate_name_rejected(self):
+        regs = RegisterFile()
+        regs.define("a", 8, 1)
+        with pytest.raises(ValueError):
+            regs.define("a", 8, 1)
+
+    def test_unknown_lookups_raise(self):
+        regs = RegisterFile()
+        with pytest.raises(KeyError):
+            regs.get("nope")
+        with pytest.raises(KeyError):
+            regs.id_of("nope")
+        with pytest.raises(KeyError):
+            regs.name_of(99)
+
+    def test_id_map_is_copy(self):
+        regs = RegisterFile()
+        regs.define("a", 8, 1)
+        mapping = regs.id_map()
+        mapping[99] = "evil"
+        with pytest.raises(KeyError):
+            regs.name_of(99)
+
+    def test_total_bits_sums(self):
+        regs = RegisterFile()
+        regs.define("a", 8, 4)
+        regs.define("b", 32, 2)
+        assert regs.total_bits() == 8 * 4 + 32 * 2
+        assert len(regs) == 2

@@ -1,0 +1,119 @@
+"""Resource model: per-construct pricing and the Table II reproduction."""
+
+import pytest
+
+from repro.core.program import (
+    baseline_program_spec,
+    p4auth_overlay_spec,
+    p4auth_program_spec,
+)
+from repro.dataplane.resources import (
+    HASH_UNITS,
+    PHV_CONTAINERS,
+    SRAM_BLOCKS,
+    TCAM_BLOCKS,
+    ProgramSpec,
+    ResourceModel,
+)
+
+
+def test_empty_program_costs_nothing():
+    report = ResourceModel().report(ProgramSpec("empty"))
+    assert report.tcam_blocks == 0
+    assert report.sram_blocks == 0
+    assert report.hash_units == 0
+    assert report.phv_containers == 0
+
+
+def test_ternary_table_uses_tcam_and_sram_action_data():
+    spec = ProgramSpec("p").add_table("t", key_bits=32, entries=512,
+                                      uses_tcam=True, action_data_bits=64)
+    assert spec.tcam_blocks() == 1
+    assert spec.sram_blocks() == 1  # action data only
+
+
+def test_wide_key_needs_more_tcam_slices():
+    narrow = ProgramSpec("n").add_table("t", 44, 512, True)
+    wide = ProgramSpec("w").add_table("t", 45, 512, True)
+    assert wide.tcam_blocks() == 2 * narrow.tcam_blocks()
+
+
+def test_exact_table_uses_sram_and_hash():
+    spec = ProgramSpec("p").add_table("t", key_bits=48, entries=1024,
+                                      uses_tcam=False)
+    assert spec.tcam_blocks() == 0
+    assert spec.sram_blocks() >= 1
+    assert spec.hash_units() == 1
+
+
+def test_register_minimum_one_block():
+    spec = ProgramSpec("p").add_register("tiny", 8, 1)
+    assert spec.sram_blocks() == 1
+
+
+def test_headers_claim_containers():
+    spec = ProgramSpec("p").add_headers("h", 33)
+    assert spec.phv_containers() == 2
+
+
+def test_extend_overlays():
+    base = ProgramSpec("b").add_headers("h", 32)
+    extra = ProgramSpec("e").add_headers("h2", 32).add_hash("x", 5)
+    base.extend(extra)
+    assert base.phv_containers() == 2
+    assert base.hash_units() == 5
+
+
+def test_overfull_program_rejected():
+    spec = ProgramSpec("huge")
+    spec.add_phv_containers(PHV_CONTAINERS + 1)
+    with pytest.raises(RuntimeError):
+        ResourceModel().report(spec)
+
+
+class TestTableII:
+    """The headline reproduction: Table II's utilization percentages."""
+
+    def test_baseline_row(self):
+        report = ResourceModel().report(baseline_program_spec())
+        assert report.tcam_pct == 8.3
+        assert report.sram_pct == 2.5
+        assert report.hash_pct == 1.4
+        assert report.phv_pct == 11.1  # paper: 11%
+
+    def test_p4auth_row(self):
+        report = ResourceModel().report(p4auth_program_spec())
+        assert report.tcam_pct == 8.3   # P4Auth adds no TCAM
+        assert report.sram_pct == 3.6
+        assert report.hash_pct == 51.4
+        assert report.phv_pct == 23.1
+
+    def test_hash_units_are_the_dominant_cost(self):
+        base = ResourceModel().report(baseline_program_spec())
+        auth = ResourceModel().report(p4auth_program_spec())
+        deltas = {
+            "tcam": auth.tcam_pct - base.tcam_pct,
+            "sram": auth.sram_pct - base.sram_pct,
+            "hash": auth.hash_pct - base.hash_pct,
+            "phv": auth.phv_pct - base.phv_pct,
+        }
+        assert max(deltas, key=deltas.get) == "hash"
+
+    def test_overlay_registers_match_implementation(self):
+        """The overlay's register list must mirror what P4AuthDataplane
+        actually allocates (10 arrays)."""
+        from repro.dataplane.switch import DataplaneSwitch
+        from repro.core.auth_dataplane import P4AuthDataplane
+        switch = DataplaneSwitch("s1", num_ports=64)
+        P4AuthDataplane(switch, k_seed=1)
+        implementation = set(switch.registers.names())
+        overlay = p4auth_overlay_spec(num_ports=64)
+        spec_names = {r.name for r in overlay._registers}
+        assert spec_names == implementation
+
+    def test_sram_scales_linearly_with_ports(self):
+        """Paper: key-register SRAM is 64*(M+1) bits — linear in ports."""
+        small = p4auth_overlay_spec(num_ports=64).sram_blocks()
+        # 64 ports fit in one block; thousands of ports need more.
+        huge = p4auth_overlay_spec(num_ports=10000).sram_blocks()
+        assert huge > small

@@ -1,0 +1,158 @@
+"""Bloom filter, count-min sketch, and IBLT over register arrays."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.dataplane.registers import RegisterFile
+from repro.dataplane.sketches import BloomFilter, CountMinSketch, Iblt, _hash
+
+
+def fresh_bloom(bits=512, hashes=3):
+    return BloomFilter(RegisterFile(), "bf", bits=bits, num_hashes=hashes)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = fresh_bloom()
+        items = [3, 1_000_003, 0xDEADBEEF, 7]
+        for item in items:
+            bloom.insert(item)
+        assert all(item in bloom for item in items)
+
+    def test_empty_contains_nothing(self):
+        assert 123 not in fresh_bloom()
+
+    def test_clear_resets(self):
+        bloom = fresh_bloom()
+        bloom.insert(1)
+        bloom.clear()
+        assert 1 not in bloom
+        assert bloom.fill_ratio() == 0.0
+
+    def test_fill_ratio_grows(self):
+        bloom = fresh_bloom()
+        before = bloom.fill_ratio()
+        for item in range(50):
+            bloom.insert(item)
+        assert bloom.fill_ratio() > before
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = fresh_bloom(bits=8192)
+        for item in range(100):
+            bloom.insert(item)
+        false_positives = sum(1 for probe in range(10_000, 11_000)
+                              if probe in bloom)
+        # Theoretical FP rate at this load is ~0.0001; allow lots of slack.
+        assert false_positives < 50
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            fresh_bloom(bits=0)
+        with pytest.raises(ValueError):
+            fresh_bloom(hashes=0)
+
+    @given(st.sets(st.integers(min_value=0, max_value=(1 << 48) - 1),
+                   max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_no_false_negatives_property(self, items):
+        bloom = fresh_bloom(bits=2048)
+        for item in items:
+            bloom.insert(item)
+        assert all(item in bloom for item in items)
+
+
+class TestCountMinSketch:
+    def test_estimate_never_underestimates(self):
+        sketch = CountMinSketch(RegisterFile(), "cms", width=64, depth=3)
+        truth = {1: 5, 2: 17, 3: 1}
+        for item, count in truth.items():
+            sketch.update(item, count)
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    def test_exact_when_sparse(self):
+        sketch = CountMinSketch(RegisterFile(), "cms", width=1024, depth=3)
+        sketch.update(42, 7)
+        assert sketch.estimate(42) == 7
+
+    def test_clear(self):
+        sketch = CountMinSketch(RegisterFile(), "cms", width=64, depth=2)
+        sketch.update(1, 9)
+        sketch.clear()
+        assert sketch.estimate(1) == 0
+
+    def test_row_register_exposed_for_cdp_reads(self):
+        sketch = CountMinSketch(RegisterFile(), "cms", width=64, depth=2)
+        sketch.update(1, 3)
+        row = sketch.row_register(0)
+        assert sum(row.snapshot()) == 3
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=1000),
+                           st.integers(min_value=1, max_value=50),
+                           max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_overestimate_property(self, truth):
+        sketch = CountMinSketch(RegisterFile(), "cms", width=256, depth=3)
+        for item, count in truth.items():
+            sketch.update(item, count)
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+
+class TestIblt:
+    def test_roundtrip(self):
+        iblt = Iblt(RegisterFile(), "i", cells=64)
+        truth = {0x100 + i: 10 * (i + 1) for i in range(10)}
+        for flow, value in truth.items():
+            iblt.insert(flow, value)
+        assert Iblt.decode(iblt.export()) == truth
+
+    def test_empty_decodes_to_empty(self):
+        iblt = Iblt(RegisterFile(), "i", cells=16)
+        assert Iblt.decode(iblt.export()) == {}
+
+    def test_corruption_detected_or_wrong(self):
+        iblt = Iblt(RegisterFile(), "i", cells=64)
+        iblt.insert(0x42, 5)
+        cells = [list(c) for c in iblt.export()]
+        # Flip a count in a nonzero cell.
+        for cell in cells:
+            if cell[0] == 1:
+                cell[0] = 2
+                break
+        decoded = Iblt.decode([tuple(c) for c in cells])
+        assert decoded != {0x42: 5}
+
+    def test_overload_fails_gracefully(self):
+        iblt = Iblt(RegisterFile(), "i", cells=8)
+        for flow in range(50):
+            iblt.insert(0x1000 + flow, 1)
+        # Either decode fails (None) or misses flows; it must not crash.
+        decoded = Iblt.decode(iblt.export())
+        assert decoded is None or len(decoded) <= 50
+
+    def test_clear(self):
+        iblt = Iblt(RegisterFile(), "i", cells=16)
+        iblt.insert(1, 1)
+        iblt.clear()
+        assert Iblt.decode(iblt.export()) == {}
+
+    @given(st.dictionaries(
+        st.integers(min_value=1, max_value=(1 << 32) - 1),
+        st.integers(min_value=1, max_value=1000),
+        min_size=0, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, truth):
+        iblt = Iblt(RegisterFile(), "i", cells=128)
+        # Two flows mapping to the *identical* cell set are undecodable by
+        # construction (no pure cell ever forms) — FlowRadar pairs the
+        # IBLT with a flow filter for that case.  Exclude those inputs.
+        position_sets = {}
+        for flow in truth:
+            positions = tuple(sorted({_hash(flow, 0x200 + salt) % 128
+                                      for salt in range(3)}))
+            assume(positions not in position_sets.values())
+            position_sets[flow] = positions
+        for flow, value in truth.items():
+            iblt.insert(flow, value)
+        assert Iblt.decode(iblt.export()) == truth

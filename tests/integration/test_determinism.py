@@ -1,0 +1,45 @@
+"""Reproducibility: identical seeds yield bit-identical experiments.
+
+Every stochastic element (traces, switch PRNGs, adversary PRNGs, event
+ordering) is seeded, so a rerun must reproduce results exactly — the
+property that makes every number in EXPERIMENTS.md checkable.
+"""
+
+from repro.experiments.fig16_routescout import run_routescout
+from repro.experiments.fig17_hula import run_hula
+from repro.experiments.fig20_kmp import run_kmp_rtt
+from repro.net.trace import TraceGenerator
+
+
+def test_routescout_bitwise_reproducible():
+    first = run_routescout("attack", duration_s=10.0, attack_start_s=3.0)
+    second = run_routescout("attack", duration_s=10.0, attack_start_s=3.0)
+    assert first.share_path1 == second.share_path1
+    assert first.split_history == second.split_history
+    assert first.packets_forwarded == second.packets_forwarded
+
+
+def test_hula_bitwise_reproducible():
+    first = run_hula("p4auth", duration_s=1.5)
+    second = run_hula("p4auth", duration_s=1.5)
+    assert first.shares == second.shares
+    assert first.alerts == second.alerts
+    assert first.data_delivered == second.data_delivered
+
+
+def test_kmp_rtts_reproducible():
+    first = run_kmp_rtt(repeats=3)
+    second = run_kmp_rtt(repeats=3)
+    for op in ("local_init", "local_update", "port_init", "port_update"):
+        assert first.rtts[op] == second.rtts[op]
+
+
+def test_different_seeds_differ():
+    base = run_routescout("baseline", duration_s=10.0, seed=42)
+    other = run_routescout("baseline", duration_s=10.0, seed=43)
+    assert base.packets_forwarded != other.packets_forwarded
+
+
+def test_trace_generator_is_the_randomness_root():
+    assert (TraceGenerator(seed=1).flow_list(2.0)[0].five_tuple
+            == TraceGenerator(seed=1).flow_list(2.0)[0].five_tuple)

@@ -1,0 +1,88 @@
+"""Link failure and recovery: the F3 automation loop end to end."""
+
+from repro.core.auth_dataplane import P4AuthConfig, P4AuthDataplane
+from repro.core.controller import P4AuthController
+from repro.net.topology import hula_fig3_topology
+from repro.systems.hula import (
+    HulaDataplane,
+    fig3_hula_configs,
+    make_data_packet,
+    make_probe,
+)
+
+
+def build():
+    net, extras = hula_fig3_topology()
+    sim = extras["sim"]
+    hulas = {name: HulaDataplane(net.switch(name), config).install()
+             for name, config in fig3_hula_configs().items()}
+    dataplanes = {}
+    for index, name in enumerate(sorted(hulas)):
+        dataplanes[name] = P4AuthDataplane(
+            net.switch(name), k_seed=0xF1A9 + index,
+            config=P4AuthConfig(protected_headers={"hula_probe"}),
+        ).install()
+    controller = P4AuthController(net)
+    for dataplane in dataplanes.values():
+        controller.provision(dataplane)
+    controller.kmp.enable_topology_automation()
+    controller.kmp.bootstrap_all()
+    sim.run(until=1.0)
+    return net, extras, hulas, dataplanes, controller
+
+
+def drive_traffic(net, extras, duration_s):
+    sim = extras["sim"]
+    end = sim.now + duration_s
+
+    def probes(index=0):
+        if sim.now >= end:
+            return
+        extras["h5"].send(make_probe(5, index))
+        sim.schedule(0.005, probes, index + 1)
+
+    def data(seq=0):
+        if sim.now >= end:
+            return
+        extras["h1"].send(make_data_packet(5, seq, seq & 0xFFFF))
+        sim.schedule(0.001, data, seq + 1)
+
+    sim.schedule(0.0, probes)
+    sim.schedule(0.01, data)
+    sim.run(until=end)
+
+
+def test_traffic_survives_path_failure():
+    net, extras, hulas, dataplanes, controller = build()
+    drive_traffic(net, extras, 1.0)
+    delivered_before = len(extras["h5"].received)
+    assert delivered_before > 500
+
+    # Kill the path via S3 (both of its links).
+    net.set_link_up(net.link_between("s1", "s3"), False)
+    net.set_link_up(net.link_between("s3", "s5"), False)
+    drive_traffic(net, extras, 1.0)
+    delivered_after = len(extras["h5"].received) - delivered_before
+    # Probes via S3 stop; best-hop ages out; traffic continues on S2/S4.
+    assert delivered_after > 500
+    s1 = hulas["s1"]
+    # No *new* traffic commits to the dead port once aged out: spot-check
+    # the final second's growth on port 3 is a small fraction.
+    assert s1.data_tx_per_port.get(3, 0) < s1.data_forwarded * 0.55
+
+
+def test_recovered_link_is_rekeyed_automatically():
+    net, extras, hulas, dataplanes, controller = build()
+    link = net.link_between("s1", "s3")
+    key_before = dataplanes["s1"].keys.port_key(3)
+    net.set_link_up(link, False)
+    extras["sim"].run(until=extras["sim"].now + 0.1)
+    net.set_link_up(link, True)  # port-up event -> automatic port_key_init
+    extras["sim"].run(until=extras["sim"].now + 1.0)
+    key_after = dataplanes["s1"].keys.port_key(3)
+    assert key_after != 0
+    assert key_after != key_before  # fresh key for the recovered link
+    assert key_after == dataplanes["s3"].keys.port_key(1)
+    # Probes across the recovered link verify again.
+    drive_traffic(net, extras, 0.5)
+    assert dataplanes["s1"].stats.digest_fail_dpdp == 0

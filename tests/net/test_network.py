@@ -1,0 +1,156 @@
+"""Network: wiring, delivery, control-plane paths, topology events."""
+
+import pytest
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import DataplaneSwitch
+from repro.net.network import Network
+from repro.net.simulator import EventSimulator
+
+
+def build(num_switches=2):
+    sim = EventSimulator()
+    net = Network(sim)
+    for index in range(1, num_switches + 1):
+        switch = DataplaneSwitch(f"s{index}", num_ports=4)
+        switch.pipeline.add_stage("fwd", lambda ctx: ctx.emit(2))
+        net.add_switch(switch)
+    return sim, net
+
+
+def test_duplicate_node_rejected():
+    sim, net = build(1)
+    with pytest.raises(ValueError):
+        net.add_switch(DataplaneSwitch("s1"))
+    with pytest.raises(ValueError):
+        net.add_host("s1")
+
+
+def test_connect_validates_nodes_and_ports():
+    sim, net = build(2)
+    with pytest.raises(KeyError):
+        net.connect("s1", 1, "nope", 1)
+    net.connect("s1", 1, "s2", 1)
+    with pytest.raises(ValueError):
+        net.connect("s1", 1, "s2", 2)  # port already wired
+
+
+def test_packet_traverses_link():
+    sim, net = build(2)
+    net.connect("s1", 2, "s2", 1)
+    host = net.add_host("h")
+    net.connect("s2", 2, "h", 1)
+    node = net.nodes["s1"]
+    sim.schedule(0.0, node.receive, Packet(), 1)
+    sim.run()
+    assert len(host.received) == 1
+
+
+def test_unwired_port_drops_silently():
+    sim, net = build(1)
+    node = net.nodes["s1"]
+    sim.schedule(0.0, node.receive, Packet(), 1)
+    sim.run()  # emit to unwired port 2: packet falls off the edge
+
+
+def test_down_link_blocks_traffic():
+    sim, net = build(2)
+    link = net.connect("s1", 2, "s2", 1)
+    net.set_link_up(link, False)
+    node = net.nodes["s1"]
+    sim.schedule(0.0, node.receive, Packet(), 1)
+    sim.run()
+    assert net.switch("s2").packets_processed == 0
+
+
+def test_port_status_listener_fires_for_switch_ends():
+    sim, net = build(2)
+    link = net.connect("s1", 2, "s2", 1)
+    events = []
+    net.on_port_status(lambda name, port, up: events.append((name, port, up)))
+    net.set_link_up(link, False)
+    net.set_link_up(link, True)
+    assert ("s1", 2, False) in events
+    assert ("s2", 1, True) in events
+
+
+def test_neighbor_ports_excludes_hosts():
+    sim, net = build(2)
+    net.connect("s1", 2, "s2", 1)
+    host = net.add_host("h")
+    net.connect("s1", 1, "h", 1)
+    neighbors = net.neighbor_ports("s1")
+    assert neighbors == {2: ("s2", 1)}
+
+
+def test_link_between():
+    sim, net = build(2)
+    net.connect("s1", 2, "s2", 1)
+    assert net.link_between("s1", "s2") is net.link_between("s2", "s1")
+    with pytest.raises(KeyError):
+        net.link_between("s1", "nope")
+
+
+def test_packet_in_requires_controller():
+    sim, net = build(1)
+    # No controller attached: PacketIn is dropped without error.
+    net.send_packet_in("s1", Packet())
+    sim.run()
+
+
+def test_packet_out_reaches_cpu_port():
+    sim, net = build(1)
+    seen = []
+    switch = net.switch("s1")
+    switch.pipeline.insert_stage(
+        0, "spy", lambda ctx: seen.append(ctx.ingress_port))
+    net.send_packet_out("s1", Packet())
+    sim.run()
+    assert seen == [DataplaneSwitch.CPU_PORT]
+
+
+def test_controller_receives_packet_in():
+    sim, net = build(1)
+
+    class Controller:
+        def __init__(self):
+            self.messages = []
+
+        def handle_packet_in(self, switch, packet):
+            self.messages.append((switch, packet))
+
+    controller = Controller()
+    net.attach_controller(controller)
+    net.send_packet_in("s1", Packet())
+    sim.run()
+    assert len(controller.messages) == 1
+    assert controller.messages[0][0] == "s1"
+
+
+def test_host_send_charges_fixed_cost():
+    sim, net = build(1)
+    host = net.add_host("h")
+    net.connect("h", 1, "s1", 1)
+    host.send(Packet())
+    sim.run()
+    assert sim.now >= net.costs.host_fixed_s
+
+
+def test_switch_node_charges_digest_ops():
+    """Hash extern invocations during a pipeline pass slow the packet."""
+    sim, net = build(1)
+    switch = net.switch("s1")
+
+    def hashing_stage(ctx):
+        ctx.switch.hash.compute_digest_bytes(1, b"x")
+
+    switch.pipeline.insert_stage(0, "hashes", hashing_stage)
+    host = net.add_host("h")
+    net.connect("s1", 2, "h", 1)
+    node = net.nodes["s1"]
+    sim.schedule(0.0, node.receive, Packet(), 1)
+    sim.run()
+    arrival = host.received[0][0]
+    expected = (net.costs.switch_fwd_s + net.costs.digest_op_s
+                + net.costs.link_latency_s)
+    assert arrival >= expected * 0.99

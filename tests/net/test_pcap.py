@@ -1,0 +1,83 @@
+"""PCAP capture: format correctness and live-capture integration."""
+
+import struct
+
+import pytest
+
+from repro.core.constants import P4AUTH
+from repro.dataplane.packet import Packet
+from repro.net.pcap import (
+    ETHERTYPE_OTHER,
+    ETHERTYPE_P4AUTH,
+    PCAP_MAGIC,
+    PcapCapture,
+    read_pcap,
+)
+from tests.conftest import Deployment
+
+
+def test_global_header_format():
+    capture = PcapCapture(lambda: 0.0)
+    data = capture.dump()
+    magic, major, minor = struct.unpack_from("<IHH", data, 0)
+    assert magic == PCAP_MAGIC
+    assert (major, minor) == (2, 4)
+
+
+def test_records_roundtrip():
+    now = {"t": 1.5}
+    capture = PcapCapture(lambda: now["t"])
+    capture(Packet(payload=b"AAAA"), "a->b")
+    now["t"] = 2.25
+    capture(Packet(payload=b"BBBBBB"), "b->a")
+    records = read_pcap(capture.dump())
+    assert len(records) == 2
+    assert records[0][0] == pytest.approx(1.5)
+    assert records[1][0] == pytest.approx(2.25)
+    assert records[0][1].endswith(b"AAAA")
+    assert records[1][1].endswith(b"BBBBBB")
+
+
+def test_ethertype_marks_p4auth_frames():
+    from repro.core.messages import build_reg_read_request
+    capture = PcapCapture(lambda: 0.0)
+    capture(build_reg_read_request(1, 0, 1), "c->dp")
+    capture(Packet(payload=b"x"), "a->b")
+    records = read_pcap(capture.dump())
+    etype0 = int.from_bytes(records[0][1][12:14], "big")
+    etype1 = int.from_bytes(records[1][1][12:14], "big")
+    assert etype0 == ETHERTYPE_P4AUTH
+    assert etype1 == ETHERTYPE_OTHER
+
+
+def test_snaplen_truncates_capture_not_original_length():
+    capture = PcapCapture(lambda: 0.0, snaplen=20)
+    capture(Packet(payload=bytes(100)), "a->b")
+    data = capture.dump()
+    _sec, _us, captured, original = struct.unpack_from("<IIII", data, 24)
+    assert captured == 20
+    assert original == 114  # 14B synthetic ethernet + 100B payload
+
+
+def test_capture_is_passive():
+    capture = PcapCapture(lambda: 0.0)
+    packet = Packet(payload=b"untouched")
+    assert capture(packet, "a->b") is packet
+
+
+def test_live_capture_of_kmp_exchange(tmp_path):
+    """Capture a full key bootstrap off the control channel and check
+    the P4Auth messages appear with their exact wire sizes."""
+    dep = Deployment(num_switches=1, bootstrap=False)
+    capture = PcapCapture(lambda: dep.sim.now)
+    dep.net.control_channels["s1"].add_tap(capture)
+    dep.controller.kmp.local_key_init("s1")
+    dep.run(1.0)
+    path = tmp_path / "kmp.pcap"
+    count = capture.save(str(path))
+    assert count == 4  # EAK x2 + ADHKD x2
+    records = read_pcap(path.read_bytes())
+    sizes = sorted(len(frame) - 14 for _, frame in records)
+    assert sizes == [22, 22, 30, 30]  # Table III message sizes
+    times = [t for t, _ in records]
+    assert times == sorted(times)

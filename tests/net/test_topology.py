@@ -1,0 +1,73 @@
+"""Topology builders: wiring conventions of the experiment setups."""
+
+import networkx as nx
+import pytest
+
+from repro.dataplane.packet import Packet
+from repro.net.topology import (
+    as_graph,
+    hula_fig3_topology,
+    leaf_spine,
+    linear_chain,
+)
+
+
+class TestLinearChain:
+    def test_structure(self):
+        net, extras = linear_chain(3)
+        assert extras["switches"] == ["s1", "s2", "s3"]
+        assert net.neighbor_ports("s1") == {2: ("s2", 1)}
+        assert net.neighbor_ports("s2") == {1: ("s1", 2), 2: ("s3", 1)}
+
+    def test_end_to_end_delivery(self):
+        net, extras = linear_chain(4)
+        for name in extras["switches"]:
+            net.switch(name).pipeline.add_stage(
+                "fwd", lambda ctx: ctx.emit(2 if ctx.ingress_port == 1 else 1))
+        extras["src"].send(Packet())
+        extras["sim"].run()
+        assert len(extras["dst"].received) == 1
+
+    def test_needs_at_least_one_switch(self):
+        with pytest.raises(ValueError):
+            linear_chain(0)
+
+
+class TestFig3:
+    def test_three_parallel_paths(self):
+        net, extras = hula_fig3_topology()
+        neighbors = net.neighbor_ports("s1")
+        assert neighbors == {2: ("s2", 1), 3: ("s3", 1), 4: ("s4", 1)}
+        assert extras["paths"] == {"s2": 2, "s3": 3, "s4": 4}
+
+    def test_mid_switches_reach_s5(self):
+        net, _ = hula_fig3_topology()
+        for mid in ("s2", "s3", "s4"):
+            assert net.neighbor_ports(mid)[2][0] == "s5"
+
+    def test_six_switch_links(self):
+        net, _ = hula_fig3_topology()
+        graph = as_graph(net)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 6
+
+
+class TestLeafSpine:
+    def test_structure(self):
+        net, extras = leaf_spine(num_leaves=4, num_spines=2)
+        assert len(extras["leaves"]) == 4
+        assert len(extras["spines"]) == 2
+        graph = as_graph(net)
+        assert graph.number_of_edges() == 8  # full bipartite
+        assert nx.is_connected(graph)
+
+    def test_each_leaf_has_host(self):
+        net, extras = leaf_spine(3, 2)
+        for leaf in extras["leaves"]:
+            assert leaf in extras["hosts"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            leaf_spine(num_leaves=1)
+        with pytest.raises(ValueError):
+            leaf_spine(num_spines=0)

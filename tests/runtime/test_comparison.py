@@ -1,0 +1,50 @@
+"""The Fig 18/19 comparison harness and jittered distributions."""
+
+import pytest
+
+from repro.net.costs import CostModel
+from repro.runtime.comparison import STACKS, build_stack, measure
+
+
+def test_unknown_stack_rejected():
+    with pytest.raises(ValueError):
+        build_stack("OpenFlow")
+
+
+def test_all_three_stacks_build_and_serve():
+    for name in STACKS:
+        sim, stack = build_stack(name)
+        results = []
+        stack.write_register("s1", "target", 0, 0x7,
+                             lambda ok, v: results.append(ok))
+        sim.run(until=sim.now + 1.0)
+        assert results == [True], name
+
+
+def test_deterministic_costs_give_constant_rct():
+    table = measure(duration_s=1.0)
+    stats = table[("DP-Reg-RW", "read")]
+    assert stats.percentile_rct_s(5) == pytest.approx(
+        stats.percentile_rct_s(95))
+
+
+def test_jitter_spreads_the_distribution():
+    table = measure(duration_s=1.0, costs=CostModel(jitter_fraction=0.2))
+    stats = table[("DP-Reg-RW", "read")]
+    spread = stats.percentile_rct_s(95) - stats.percentile_rct_s(5)
+    assert spread > 0.1 * stats.mean_rct_s
+
+
+def test_jitter_preserves_ordering_of_means():
+    table = measure(duration_s=2.0, costs=CostModel(jitter_fraction=0.15))
+    assert (table[("DP-Reg-RW", "read")].mean_rct_s
+            < table[("P4Auth", "read")].mean_rct_s
+            < table[("P4Runtime", "read")].mean_rct_s * 1.02)
+
+
+def test_jitter_is_seeded_and_reproducible():
+    costs = CostModel(jitter_fraction=0.15)
+    first = measure(duration_s=0.5, costs=costs)
+    second = measure(duration_s=0.5, costs=costs)
+    assert (first[("P4Auth", "read")].rcts_s
+            == second[("P4Auth", "read")].rcts_s)

@@ -1,0 +1,163 @@
+"""HULA data plane: probe semantics, utilization estimator, forwarding."""
+
+import pytest
+
+from repro.dataplane.pipeline import Emit
+from repro.dataplane.switch import DataplaneSwitch
+from repro.systems.hula import (
+    HulaConfig,
+    HulaDataplane,
+    chain_hula_configs,
+    fig3_hula_configs,
+    make_data_packet,
+    make_probe,
+)
+
+
+def make_hula(probe_routes=None, **kwargs):
+    switch = DataplaneSwitch("s1", num_ports=4)
+    config = HulaConfig(probe_routes=probe_routes or {},
+                        **kwargs)
+    return switch, HulaDataplane(switch, config).install()
+
+
+def emits(actions):
+    return [a for a in actions if isinstance(a, Emit)]
+
+
+class TestProbeProcessing:
+    def test_probe_updates_best_hop(self):
+        switch, hula = make_hula()
+        switch.process(make_probe(dst_tor=5, probe_id=1, path_util=30), 2)
+        assert hula.best_hop.read(5) == 2
+        assert hula.min_util.read(5) == 30
+
+    def test_lower_util_wins(self):
+        switch, hula = make_hula()
+        switch.process(make_probe(5, 1, path_util=30), 2, now=0.0)
+        switch.process(make_probe(5, 2, path_util=10), 3, now=0.001)
+        assert hula.best_hop.read(5) == 3
+
+    def test_higher_util_from_other_port_loses(self):
+        switch, hula = make_hula()
+        switch.process(make_probe(5, 1, path_util=10), 2, now=0.0)
+        switch.process(make_probe(5, 2, path_util=30), 3, now=0.001)
+        assert hula.best_hop.read(5) == 2
+
+    def test_current_best_hop_refreshes_even_if_worse(self):
+        """HULA's refresh rule: probes from the current best hop always
+        update min_util (otherwise stale low values pin the path)."""
+        switch, hula = make_hula()
+        switch.process(make_probe(5, 1, path_util=10), 2, now=0.0)
+        switch.process(make_probe(5, 2, path_util=60), 2, now=0.001)
+        assert hula.min_util.read(5) == 60
+
+    def test_aged_entry_replaced_regardless_of_util(self):
+        switch, hula = make_hula(aging_s=0.05)
+        switch.process(make_probe(5, 1, path_util=10), 2, now=0.0)
+        switch.process(make_probe(5, 2, path_util=90), 3, now=0.2)
+        assert hula.best_hop.read(5) == 3
+
+    def test_probe_forwarded_along_tree(self):
+        switch, hula = make_hula(probe_routes={1: [2, 3]})
+        actions = switch.process(make_probe(5, 1, path_util=20), 1)
+        out_ports = sorted(e.port for e in emits(actions))
+        assert out_ports == [2, 3]
+        # Clones are distinct packets.
+        assert len({e.packet.packet_id for e in emits(actions)}) == 2
+
+    def test_probe_terminates_without_route(self):
+        switch, hula = make_hula(probe_routes={2: []})
+        actions = switch.process(make_probe(5, 1), 2)
+        assert emits(actions) == []
+
+    def test_forwarded_probe_stamps_egress_link_util(self):
+        switch, hula = make_hula(probe_routes={1: [2]},
+                                 capacity_bps=1e6, util_tau_s=0.1)
+        # Load the data-direction of port 2 (received data on port 2).
+        for index in range(5):
+            switch.process(make_data_packet(9, index), 2, now=0.01 * index)
+        # dst 9 has no route; configure delivery so data doesn't drop.
+        actions = switch.process(make_probe(5, 1, path_util=0), 1, now=0.05)
+        # Probes out of port 2 carry its rx-based utilization.
+        probe_out = emits(actions)[0].packet
+        assert probe_out.get("hula_probe")["path_util"] > 0
+
+
+class TestDataForwarding:
+    def test_data_follows_best_hop(self):
+        switch, hula = make_hula()
+        switch.process(make_probe(5, 1, path_util=10), 3, now=0.0)
+        actions = switch.process(make_data_packet(5, flow_id=7), 1, now=0.01)
+        assert emits(actions)[0].port == 3
+        assert hula.data_tx_per_port[3] == 1
+
+    def test_edge_delivery_overrides(self):
+        switch, hula = make_hula()
+        hula.config.edge_delivery[5] = 1
+        actions = switch.process(make_data_packet(5, 1), 2)
+        assert emits(actions)[0].port == 1
+
+    def test_stale_entry_falls_back_to_uplinks(self):
+        switch, hula = make_hula(aging_s=0.05)
+        hula.config.uplink_ports = [2, 3]
+        switch.process(make_probe(5, 1, path_util=10), 4, now=0.0)
+        actions = switch.process(make_data_packet(5, 1), 1, now=1.0)
+        assert emits(actions)[0].port in (2, 3)
+
+    def test_fallback_round_robins(self):
+        switch, hula = make_hula()
+        hula.config.uplink_ports = [2, 3]
+        ports = []
+        for index in range(4):
+            actions = switch.process(make_data_packet(5, index), 1)
+            ports.append(emits(actions)[0].port)
+        assert ports == [2, 3, 2, 3]
+
+    def test_no_route_no_fallback_drops(self):
+        switch, hula = make_hula()
+        actions = switch.process(make_data_packet(5, 1), 1)
+        assert emits(actions) == []
+        assert hula.data_dropped == 1
+
+
+class TestUtilEstimator:
+    def test_decays_to_zero(self):
+        switch, hula = make_hula(util_tau_s=0.05, capacity_bps=1e6)
+        hula._account_rx(2, 10_000, 0.0)
+        assert hula.port_util(2, 0.0) > 0
+        assert hula.port_util(2, 1.0) == 0
+
+    def test_steady_rate_tracks_capacity_fraction(self):
+        switch, hula = make_hula(util_tau_s=0.05, capacity_bps=8e6)
+        # 1000 bytes every 1 ms = 8 Mbps = 100% of 8 Mbps.
+        for index in range(200):
+            hula._account_rx(2, 1000, index * 0.001)
+        util = hula.port_util(2, 0.2)
+        assert 80 <= util <= 100
+
+    def test_capped_at_100(self):
+        switch, hula = make_hula(util_tau_s=0.05, capacity_bps=1000.0)
+        hula._account_rx(2, 10_000_000, 0.0)
+        assert hula.port_util(2, 0.0) == 100
+
+
+class TestConfigs:
+    def test_fig3_configs_cover_all_switches(self):
+        configs = fig3_hula_configs()
+        assert set(configs) == {"s1", "s2", "s3", "s4", "s5"}
+        assert configs["s5"].probe_routes == {1: [2, 3, 4]}
+        assert configs["s1"].probe_routes == {2: [], 3: [], 4: []}
+
+    def test_chain_configs(self):
+        configs = chain_hula_configs(3)
+        assert set(configs) == {"s1", "s2", "s3"}
+        assert all(c.probe_routes == {1: [2]} for c in configs.values())
+
+
+def test_packet_builders():
+    probe = make_probe(5, 7, path_util=42)
+    assert probe.get("hula_probe")["dst_tor"] == 5
+    assert probe.get("hula_probe")["path_util"] == 42
+    data = make_data_packet(5, 9, size_bytes=1000)
+    assert data.size_bytes == 1000

@@ -1,0 +1,65 @@
+"""Baseline L3 forwarder: routing, TTL, stats."""
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.pipeline import Drop, Emit
+from repro.dataplane.switch import DataplaneSwitch
+from repro.systems.l3fwd import IPV4_HEADER, L3ForwardingDataplane
+
+
+def make_l3():
+    switch = DataplaneSwitch("s1", num_ports=4)
+    l3 = L3ForwardingDataplane(switch).install()
+    return switch, l3
+
+
+def packet(dst, ttl=64, flow_id=1):
+    p = Packet()
+    p.push("ipv4", IPV4_HEADER.instantiate(src=1, dst=dst, ttl=ttl,
+                                           proto=6, flow_id=flow_id))
+    return p
+
+
+def test_lpm_route_forwards():
+    switch, l3 = make_l3()
+    l3.add_route(0x0A000000, 8, egress_port=2)
+    actions = switch.process(packet(0x0A0B0C0D), 1)
+    assert isinstance(actions[0], Emit)
+    assert actions[0].port == 2
+
+
+def test_longest_prefix_wins():
+    switch, l3 = make_l3()
+    l3.add_route(0x0A000000, 8, egress_port=2)
+    l3.add_route(0x0A0B0000, 16, egress_port=3)
+    actions = switch.process(packet(0x0A0B0C0D), 1)
+    assert actions[0].port == 3
+
+
+def test_no_route_drops():
+    switch, l3 = make_l3()
+    actions = switch.process(packet(0xC0A80001), 1)
+    assert isinstance(actions[0], Drop)
+
+
+def test_ttl_decremented_and_expired_dropped():
+    switch, l3 = make_l3()
+    l3.add_route(0, 0, egress_port=2)
+    p = packet(1, ttl=5)
+    switch.process(p, 1)
+    assert p.get("ipv4")["ttl"] == 4
+    actions = switch.process(packet(1, ttl=0), 1)
+    assert isinstance(actions[0], Drop)
+
+
+def test_stats_register_counts_flows():
+    switch, l3 = make_l3()
+    l3.add_route(0, 0, egress_port=2)
+    for _ in range(3):
+        switch.process(packet(1, flow_id=7), 1)
+    assert l3.stats.read(7) == 3
+
+
+def test_non_ip_traffic_ignored():
+    switch, l3 = make_l3()
+    actions = switch.process(Packet(), 1)
+    assert actions == []

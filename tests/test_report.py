@@ -1,0 +1,37 @@
+"""Markdown report builder (the RESULTS.md generator's skeleton)."""
+
+from repro.analysis.report import MarkdownReport
+
+
+def test_title_and_sections():
+    report = MarkdownReport("Title")
+    report.section("A", "body text")
+    report.section("B")
+    rendered = report.render()
+    assert rendered.startswith("# Title\n")
+    assert "\n## A\n" in rendered and "body text" in rendered
+    assert "\n## B\n" in rendered
+
+
+def test_tables_render_as_markdown():
+    report = MarkdownReport("T")
+    report.table(["x", "y"], [[1, 2], ["a", "b"]])
+    rendered = report.render()
+    assert "| x | y |" in rendered
+    assert "|---|---|" in rendered
+    assert "| 1 | 2 |" in rendered
+    assert "| a | b |" in rendered
+
+
+def test_paragraph():
+    report = MarkdownReport("T")
+    report.paragraph("some prose")
+    assert "some prose" in report.render()
+
+
+def test_save_roundtrip(tmp_path):
+    report = MarkdownReport("T")
+    report.section("S", "content")
+    path = tmp_path / "out.md"
+    report.save(str(path))
+    assert path.read_text() == report.render()
