@@ -12,6 +12,8 @@ same drivers the benchmark suite uses, without pytest in the way.
     python -m repro table3           # KMP scalability (live 25-switch net)
     python -m repro aggregation      # Attack 2 on in-network aggregation
     python -m repro all              # everything
+    python -m repro telemetry fig17  # instrumented run: JSONL trace +
+                                     # Prometheus-style metrics dump
 """
 
 from __future__ import annotations
@@ -119,6 +121,56 @@ def cmd_aggregation(args) -> None:
         rows, title="Attack 2: in-network aggregation"))
 
 
+#: Experiments the ``telemetry`` subcommand can instrument.
+TELEMETRY_TARGETS = ("fig17", "fig18", "fig20")
+
+
+def cmd_telemetry(args) -> None:
+    """Run one experiment with telemetry enabled; dump trace + metrics."""
+    from repro.telemetry import Telemetry
+
+    target = args.target or "fig17"
+    if target not in TELEMETRY_TARGETS:
+        raise SystemExit(
+            f"telemetry target must be one of {TELEMETRY_TARGETS}")
+    tel = Telemetry(enabled=True)
+
+    if target == "fig17":
+        from repro.experiments.fig17_hula import MODES, run_hula
+        rows = []
+        for mode in MODES:
+            result = run_hula(mode, duration_s=min(args.duration, 10.0),
+                              telemetry=tel)
+            rows.append([mode,
+                         f"{result.shares['s2'] * 100:.1f}%",
+                         f"{result.shares['s3'] * 100:.1f}%",
+                         f"{result.shares['s4'] * 100:.1f}%",
+                         result.alerts])
+        print(format_table(["mode", "via S2", "via S3", "via S4", "alerts"],
+                           rows, title="Fig 17: HULA traffic distribution"))
+    elif target == "fig18":
+        from repro.runtime.comparison import measure
+        table = measure(duration_s=min(args.duration, 10.0), telemetry=tel)
+        rows = [[name, kind, stats.completed,
+                 f"{stats.mean_rct_s * 1e6:.1f}"]
+                for (name, kind), stats in sorted(table.items())]
+        print(format_table(["stack", "op", "completed", "mean RCT (us)"],
+                           rows, title="Fig 18: stack comparison"))
+    else:
+        from repro.experiments.fig20_kmp import OPS, run_kmp_rtt
+        result = run_kmp_rtt(repeats=20, telemetry=tel)
+        rows = [[op, f"{result.mean_ms(op):.3f}"] for op in OPS]
+        print(format_table(["operation", "RTT (ms)"],
+                           rows, title="Fig 20: key management RTT"))
+
+    trace_path = args.trace_out or f"telemetry-{target}.jsonl"
+    count = tel.tracer.dump(trace_path)
+    print()
+    print(tel.render_prometheus())
+    print(f"# wrote {count} trace events to {trace_path}"
+          + (f" ({tel.tracer.evicted} evicted)" if tel.tracer.evicted else ""))
+
+
 COMMANDS = {
     "fig16": cmd_fig16,
     "fig17": cmd_fig17,
@@ -128,6 +180,7 @@ COMMANDS = {
     "table2": cmd_table2,
     "table3": cmd_table3,
     "aggregation": cmd_aggregation,
+    "telemetry": cmd_telemetry,
 }
 
 
@@ -138,9 +191,16 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(COMMANDS) + ["all"],
                         help="which paper experiment to run")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="for 'telemetry': which experiment to "
+                             f"instrument {TELEMETRY_TARGETS} "
+                             "(default: fig17)")
     parser.add_argument("--duration", type=float, default=30.0,
                         help="simulated duration for trace-driven "
                              "experiments (seconds)")
+    parser.add_argument("--trace-out", default=None,
+                        help="for 'telemetry': JSONL trace output path "
+                             "(default: telemetry-<target>.jsonl)")
     args = parser.parse_args(argv)
     if args.experiment == "all":
         for name in ("table2", "fig20", "fig21", "table3", "fig16",

@@ -181,4 +181,46 @@ def generate_report(fast: bool = True,
     report.table(["scenario", "outcome", "detail", "alerts"], agg_rows)
     note("extensions done")
 
+    # Observability ---------------------------------------------------------
+    from repro.telemetry import Telemetry
+    tel = Telemetry(enabled=True)
+    run_hula("p4auth", duration_s=2.0 if fast else 5.0, telemetry=tel)
+    registry = tel.metrics
+    report.section(
+        "Observability — instrumented Fig 17 p4auth run",
+        "Metrics from one telemetry-enabled HULA run with the S1-S4 "
+        "tamperer active (`python -m repro telemetry fig17` reproduces "
+        "this with the full Prometheus dump and a JSONL trace).")
+
+    def rows_for(names, columns):
+        out = []
+        for metric_name in names:
+            for metric in registry.with_name(metric_name):
+                labels = dict(metric.labels)
+                out.append([labels.get(c, "-") for c in columns]
+                           + [int(metric.value)])
+        return out
+
+    report.paragraph("Digest verification outcomes:")
+    report.table(["switch", "channel", "result", "count"],
+                 rows_for(["p4auth_digest_verify_total"],
+                          ["switch", "channel", "result"]))
+
+    report.paragraph("Packet drops by reason (pipeline and network):")
+    report.table(["where", "stage", "reason", "count"],
+                 rows_for(["dataplane_drop_total"],
+                          ["switch", "stage", "reason"])
+                 + rows_for(["net_dropped_packets_total"],
+                            ["node", "stage", "reason"]))
+
+    report.paragraph("Per-link byte counters:")
+    report.table(["link", "direction", "bytes"],
+                 rows_for(["net_link_bytes_total"], ["link", "direction"]))
+
+    report.paragraph(
+        f"Trace: {tel.tracer.emitted} events emitted, "
+        f"{len(tel.tracer)} retained "
+        f"({tel.tracer.evicted} evicted by the ring buffer).")
+    note("observability done")
+
     return report

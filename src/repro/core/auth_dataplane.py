@@ -153,6 +153,11 @@ class P4AuthDataplane:
 
         self._installed = False
 
+    @property
+    def telemetry(self):
+        """The switch's telemetry sink (rebound by the network layer)."""
+        return self.switch.telemetry
+
     # ------------------------------------------------------------------
     # installation & register mapping
     # ------------------------------------------------------------------
@@ -227,6 +232,12 @@ class P4AuthDataplane:
         if key is None or key == 0 or not self.digest.verify(key, packet):
             self._on_digest_fail(ctx, hdr, from_cpu)
             return
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "p4auth_digest_verify_total", switch=self.switch.name,
+                result="pass", channel="cdp" if from_cpu else "dpdp",
+            ).inc()
 
         hdr_type = hdr["hdrType"]
         if hdr_type == HdrType.REGISTER_OP:
@@ -289,12 +300,38 @@ class P4AuthDataplane:
             # A protected feedback message arrived on a keyed link without
             # a P4Auth header: a MitM stripped or never had the digest.
             self.stats.digest_fail_dpdp += 1
+            self._note_verify_fail(ctx, "dpdp", "header_stripped")
             self._raise_alert(ctx, AlertCode.DIGEST_MISMATCH_DPDP,
                               detail=ctx.ingress_port)
             ctx.drop("unauthenticated protected feedback message")
 
+    def _note_verify_fail(self, ctx: PipelineContext, channel: str,
+                          cause: str) -> None:
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "p4auth_digest_verify_total", switch=self.switch.name,
+                result="fail", channel=channel,
+            ).inc()
+            telemetry.tracer.emit("digest.verify_fail",
+                                  switch=self.switch.name, channel=channel,
+                                  cause=cause, port=ctx.ingress_port)
+
+    def _note_replay(self, ctx: PipelineContext, seq: int,
+                     channel: str) -> None:
+        self.stats.replays_detected += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter("p4auth_replay_rejected_total",
+                                      switch=self.switch.name,
+                                      channel=channel).inc()
+            telemetry.tracer.emit("replay.reject", switch=self.switch.name,
+                                  channel=channel, seq=seq)
+
     def _on_digest_fail(self, ctx: PipelineContext, hdr, from_cpu: bool) -> None:
         msg_type = hdr["msgType"]
+        self._note_verify_fail(ctx, "cdp" if from_cpu else "dpdp",
+                               "digest_mismatch")
         if from_cpu:
             self.stats.digest_fail_cdp += 1
             is_request = (
@@ -336,7 +373,7 @@ class P4AuthDataplane:
         expected = self._expected_seq.read(0)
         if seq < expected:
             # Authenticated but stale: a replayed request (§VIII).
-            self.stats.replays_detected += 1
+            self._note_replay(ctx, seq, "cdp")
             self._raise_alert(ctx, AlertCode.REPLAY_SUSPECTED, detail=seq)
             self._respond_reg(ctx, ok=False, payload=payload, seq=seq,
                               value=0, encrypted=encrypted,
@@ -514,7 +551,7 @@ class P4AuthDataplane:
         port = ctx.ingress_port
         seq = hdr["seqNum"]
         if seq <= self._port_seq.read(port):
-            self.stats.replays_detected += 1
+            self._note_replay(ctx, seq, "dpdp")
             self._raise_alert(ctx, AlertCode.REPLAY_SUSPECTED, detail=seq)
             ctx.drop("replayed DP-DP key exchange message")
             return
@@ -677,6 +714,13 @@ class P4AuthDataplane:
         if not self._alert_budget_ok(ctx.now):
             return
         self.stats.alerts_raised += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter("p4auth_alerts_total",
+                                      switch=self.switch.name,
+                                      code=code.name).inc()
+            telemetry.tracer.emit("alert.raised", switch=self.switch.name,
+                                  code=code.name, detail=detail)
         alert = build_alert(code, detail, self._next_dp_seq())
         key = self.keys.local_key() or self._kauth.read(0) or self.k_seed
         alert.get(P4AUTH)["keyVer"] = self.keys.active_version(LOCAL_KEY_INDEX)

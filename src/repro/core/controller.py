@@ -36,6 +36,7 @@ from repro.core.messages import (
 from repro.crypto.prng import XorShiftPrng
 from repro.dataplane.packet import Packet
 from repro.net.network import Network
+from repro.telemetry import RCT_BUCKETS
 
 ResponseCallback = Callable[[bool, int], None]
 
@@ -103,6 +104,7 @@ class P4AuthController:
         self.network = network
         self.sim = network.sim
         self.costs = network.costs
+        self.telemetry = network.telemetry
         self.digest = DigestEngine(algorithm=algorithm)
         self.keys = ControllerKeyStore()
         self.prng = XorShiftPrng(seed)
@@ -242,10 +244,25 @@ class P4AuthController:
     def handle_packet_in(self, switch: str, packet: Packet) -> None:
         """Entry point the network calls for every PacketIn message."""
         if not packet.has(P4AUTH):
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "controller_packet_in_total", switch=switch,
+                    hdr_type="none").inc()
             self.stats.unsolicited_responses += 1
             return
         hdr = packet.get(P4AUTH)
         hdr_type = hdr["hdrType"]
+        if self.telemetry.enabled:
+            try:
+                type_name = HdrType(hdr_type).name
+            except ValueError:
+                type_name = str(hdr_type)
+            self.telemetry.metrics.counter(
+                "controller_packet_in_total", switch=switch,
+                hdr_type=type_name).inc()
+            self.telemetry.tracer.emit("controller.packet_in", switch=switch,
+                                       hdr_type=type_name,
+                                       seq=hdr["seqNum"])
         if hdr_type == HdrType.REGISTER_OP:
             self._handle_reg_response(switch, packet, hdr)
         elif hdr_type == HdrType.ALERT:
@@ -286,6 +303,10 @@ class P4AuthController:
         self.stats.rct_samples.append(
             RctSample(pending.kind, switch, rct, ok)
         )
+        if self.telemetry.enabled:
+            self.telemetry.metrics.histogram(
+                "runtime_rct_seconds", buckets=RCT_BUCKETS,
+                stack="P4Auth", kind=pending.kind).observe(rct)
         if pending.callback is not None:
             self.sim.schedule(self.costs.controller_digest_s,
                               pending.callback, ok, value)
@@ -315,5 +336,10 @@ class P4AuthController:
         record = TamperRecord(self.sim.now, switch, seq, reason)
         self.tamper_events.append(record)
         self.stats.tampered_responses += 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("controller_tamper_total",
+                                           switch=switch).inc()
+            self.telemetry.tracer.emit("controller.tamper", switch=switch,
+                                       seq=seq, reason=reason)
         for hook in self.on_tamper:
             hook(record)

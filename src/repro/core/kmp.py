@@ -38,6 +38,7 @@ from repro.core.messages import (
     build_keyctl_message,
 )
 from repro.dataplane.packet import Packet
+from repro.telemetry import KMP_RTT_BUCKETS
 
 DoneCallback = Callable[["KmpOpRecord"], None]
 
@@ -473,12 +474,23 @@ class KeyManagementProtocol:
         if exchange.completed:
             return
         self._purge(exchange)
+        telemetry = self.c.telemetry
         if exchange.attempt >= self.max_attempts:
             self.stats.failures.append(KmpFailure(
                 exchange.op, exchange.switch, exchange.port,
                 exchange.attempt, self.c.sim.now))
+            if telemetry.enabled:
+                telemetry.metrics.counter("kmp_failures_total",
+                                          op=exchange.op).inc()
+                telemetry.tracer.emit("kmp.failure", op=exchange.op,
+                                      switch=exchange.switch,
+                                      port=exchange.port,
+                                      attempts=exchange.attempt)
             return
         self.stats.retries += 1
+        if telemetry.enabled:
+            telemetry.metrics.counter("kmp_retries_total",
+                                      op=exchange.op).inc()
         restart()
 
     def _retry_port_op(self, op: str, switch: str, port: int,
@@ -510,6 +522,18 @@ class KeyManagementProtocol:
             bytes=exchange.bytes,
         )
         self.stats.records.append(record)
+        telemetry = self.c.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.histogram(
+                "kmp_rtt_seconds", buckets=KMP_RTT_BUCKETS,
+                op=record.op).observe(record.rtt_s)
+            telemetry.metrics.counter("kmp_exchanges_total",
+                                      op=record.op).inc()
+            telemetry.tracer.emit("kmp.exchange", op=record.op,
+                                  switch=record.switch, port=record.port,
+                                  rtt_s=record.rtt_s,
+                                  messages=record.messages,
+                                  bytes=record.bytes)
         if exchange.on_done is not None:
             exchange.on_done(record)
 

@@ -126,10 +126,22 @@ class Pipeline:
 
     def run(self, ctx: PipelineContext) -> List[PipelineAction]:
         """Execute the stages in order until done or stopped."""
+        # Per-stage occupancy counters; ctx.switch may be a bare stub in
+        # unit tests, hence the defensive getattr.
+        telemetry = getattr(ctx.switch, "telemetry", None)
+        if telemetry is not None and telemetry.enabled:
+            metrics = telemetry.metrics
+            switch_name = getattr(ctx.switch, "name", "?")
+        else:
+            metrics = None
+            switch_name = ""
         for name, fn in self._stages:
             if ctx.stopped:
                 break
             ctx.stage_trace.append(name)
+            if metrics is not None:
+                metrics.counter("dataplane_stage_packets_total",
+                                switch=switch_name, stage=name).inc()
             fn(ctx)
         return ctx.actions
 

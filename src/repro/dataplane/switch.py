@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from repro.dataplane.externs import HashExtern, RandomExtern
 from repro.dataplane.packet import Packet
 from repro.dataplane.pipeline import (
+    Drop,
     Pipeline,
     PipelineAction,
     PipelineContext,
@@ -21,6 +22,7 @@ from repro.dataplane.pipeline import (
 )
 from repro.dataplane.registers import RegisterFile
 from repro.dataplane.tables import MatchActionTable
+from repro.telemetry import NULL_TELEMETRY
 
 # Safety valve: a P4 program can recirculate, but hardware bounds the
 # number of passes a packet can take.  This mirrors that bound.
@@ -60,6 +62,11 @@ class DataplaneSwitch:
         self.packets_processed = 0
         self.packets_dropped = 0
         self.pipeline_passes = 0
+        #: Drop tally by reason string (always on; a dict increment).
+        self.drop_reasons: Dict[str, int] = {}
+        #: Observability sink; :meth:`repro.net.network.Network.add_switch`
+        #: rebinds this to the fabric's instance when one is enabled.
+        self.telemetry = NULL_TELEMETRY
 
     # -- program construction ------------------------------------------------
 
@@ -96,6 +103,7 @@ class DataplaneSwitch:
         pending = [(packet, ingress_port)]
         final: List[PipelineAction] = []
         passes = 0
+        telemetry = self.telemetry
         while pending:
             current, port = pending.pop(0)
             passes += 1
@@ -110,11 +118,31 @@ class DataplaneSwitch:
                     pending.append((action.packet, port))
                 else:
                     final.append(action)
+                    if isinstance(action, Drop):
+                        self._count_drop(action, ctx, telemetry)
         self.pipeline_passes += passes
+        if telemetry.enabled:
+            telemetry.metrics.counter("dataplane_pipeline_passes_total",
+                                      switch=self.name).inc(passes)
         self.packets_dropped += sum(
-            1 for a in final if a.__class__.__name__ == "Drop"
+            1 for a in final if isinstance(a, Drop)
         )
         return final
+
+    def _count_drop(self, action: Drop, ctx: PipelineContext,
+                    telemetry) -> None:
+        """Attribute a pipeline drop to its reason and deciding stage."""
+        reason = action.reason or "unspecified"
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        if telemetry.enabled:
+            stage = ctx.stage_trace[-1] if ctx.stage_trace else "unstaged"
+            telemetry.metrics.counter(
+                "dataplane_drop_total", switch=self.name, stage=stage,
+                reason=reason,
+            ).inc()
+            telemetry.tracer.emit("packet.drop", layer="pipeline",
+                                  switch=self.name, stage=stage,
+                                  reason=reason)
 
     def __repr__(self) -> str:
         return (

@@ -49,11 +49,11 @@ class HulaResult:
 
 def run_hula(mode: str, duration_s: float = 5.0, seed: int = 7,
              probe_period_s: float = 0.005, data_period_s: float = 0.0002,
-             warmup_s: float = 0.5) -> HulaResult:
+             warmup_s: float = 0.5, telemetry=None) -> HulaResult:
     """Run one Fig 17 scenario; shares measured after ``warmup_s``."""
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}")
-    net, extras = hula_fig3_topology()
+    net, extras = hula_fig3_topology(telemetry=telemetry)
     sim = extras["sim"]
     configs = fig3_hula_configs()
     hulas: Dict[str, HulaDataplane] = {}

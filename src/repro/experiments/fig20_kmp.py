@@ -35,15 +35,20 @@ class KmpRttResult:
         return sum(samples) / len(samples) * 1e3
 
 
-def run_kmp_rtt(repeats: int = 20, seed: int = 3) -> KmpRttResult:
-    """Collect RTT samples for all four KMP operations."""
+def run_kmp_rtt(repeats: int = 20, seed: int = 3,
+                telemetry=None) -> KmpRttResult:
+    """Collect RTT samples for all four KMP operations.
+
+    A shared ``telemetry`` instance aggregates ``kmp_rtt_seconds`` and
+    ``kmp.exchange`` trace events across every deployment in the sweep.
+    """
     result = KmpRttResult()
 
     # local_init needs a fresh switch each time (K_local must be unset),
     # so it gets its own deployments.
     samples: List[float] = []
     for run in range(repeats):
-        sim = EventSimulator()
+        sim = EventSimulator(telemetry=telemetry)
         net = Network(sim)
         switch = DataplaneSwitch("s1", num_ports=2, seed=seed + run)
         net.add_switch(switch)
@@ -56,7 +61,7 @@ def run_kmp_rtt(repeats: int = 20, seed: int = 3) -> KmpRttResult:
     result.rtts["local_init"] = samples
 
     # The other three run on one two-switch deployment.
-    sim = EventSimulator()
+    sim = EventSimulator(telemetry=telemetry)
     net = Network(sim)
     dataplanes = []
     for index, name in enumerate(("s1", "s2")):

@@ -46,6 +46,12 @@ class Link:
         self._busy_until = {"a->b": 0.0, "b->a": 0.0}
         self.max_queue_delay_s = 0.0
 
+    @property
+    def label(self) -> str:
+        """Stable identifier used as the telemetry ``link`` label."""
+        return (f"{self.end_a[0]}:{self.end_a[1]}-"
+                f"{self.end_b[0]}:{self.end_b[1]}")
+
     def peer_of(self, name: str, port: int) -> Tuple[str, int]:
         """The endpoint opposite (name, port)."""
         if (name, port) == self.end_a:

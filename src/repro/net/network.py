@@ -6,6 +6,11 @@ controller.  It translates pipeline actions (Emit/ToController/Drop) into
 scheduled events, charging the cost model for switch processing (including
 per-digest costs, measured as hash-extern invocation deltas) and link
 delays.
+
+Every way a packet can vanish — unwired port, downed link, tap (MitM)
+kill, missing controller — increments a named drop counter and emits a
+``packet.drop`` trace event.  Forwarding accountability is a security
+primitive here (SDNsec): nothing disappears without a reason on record.
 """
 
 from __future__ import annotations
@@ -20,6 +25,13 @@ from repro.net.costs import CostModel
 from repro.net.links import ControlChannel, Link
 from repro.net.simulator import EventSimulator
 
+#: Drop reasons the network layer can record (DESIGN.md "Observability").
+DROP_UNWIRED_PORT = "unwired_port"
+DROP_LINK_DOWN = "link_down"
+DROP_TAP = "tamper_tap"
+DROP_CONTROL_TAP = "control_tamper_tap"
+DROP_NO_CONTROLLER = "no_controller"
+
 
 class SwitchNode:
     """A data-plane switch attached to the network fabric."""
@@ -29,6 +41,11 @@ class SwitchNode:
         self.switch = switch
         self.name = switch.name
         self.drops: List[Tuple[float, str]] = []
+        metrics = network.telemetry.metrics
+        self._packets_counter = metrics.counter(
+            "net_switch_packets_total", switch=self.name)
+        self._hash_counter = metrics.counter(
+            "dataplane_hash_ops_total", switch=self.name)
 
     def receive(self, packet: Packet, ingress_port: int) -> None:
         """Handle an arriving packet: run the pipeline, schedule outcomes."""
@@ -37,6 +54,9 @@ class SwitchNode:
         hash_before = self.switch.hash.invocations
         actions = self.switch.process(packet, ingress_port, now=sim.now)
         hash_ops = self.switch.hash.invocations - hash_before
+        self._packets_counter.inc()
+        if hash_ops:
+            self._hash_counter.inc(hash_ops)
         proc_delay = costs.switch_fwd_s + hash_ops * costs.digest_op_s
         for action in actions:
             if isinstance(action, Emit):
@@ -85,6 +105,7 @@ class Network:
     def __init__(self, sim: EventSimulator, costs: Optional[CostModel] = None,
                  jitter_seed: int = 0x7177E4):
         self.sim = sim
+        self.telemetry = sim.telemetry
         self.costs = costs or CostModel()
         self._jitter_prng = XorShiftPrng(jitter_seed)
         self.nodes: Dict[str, object] = {}
@@ -93,12 +114,22 @@ class Network:
         self.control_channels: Dict[str, ControlChannel] = {}
         self.controller = None  # set by attach_controller
         self.port_status_listeners: List[Callable[[str, int, bool], None]] = []
+        #: Drop tally by reason — populated by every formerly silent
+        #: drop path; always on (it is just a dict increment).
+        self.drop_counts: Dict[str, int] = {}
+        # Per-(node, port) cached telemetry counters, built in connect().
+        self._link_counters: Dict[Tuple[str, int], Tuple[object, object]] = {}
 
     # -- construction ---------------------------------------------------------
 
     def add_switch(self, switch: DataplaneSwitch) -> SwitchNode:
         if switch.name in self.nodes:
             raise ValueError(f"node {switch.name!r} already exists")
+        # Switches created standalone default to the null telemetry; wire
+        # them to the fabric's instance so pipeline/auth instrumentation
+        # reports into the same registry.
+        if self.telemetry.enabled and not switch.telemetry.enabled:
+            switch.telemetry = self.telemetry
         node = SwitchNode(self, switch)
         self.nodes[switch.name] = node
         self.control_channels[switch.name] = ControlChannel(
@@ -132,6 +163,15 @@ class Network:
         self._links[(name_a, port_a)] = link
         self._links[(name_b, port_b)] = link
         self.links.append(link)
+        metrics = self.telemetry.metrics
+        for (name, port), direction in ((link.end_a, "a->b"),
+                                        (link.end_b, "b->a")):
+            self._link_counters[(name, port)] = (
+                metrics.counter("net_link_packets_total", link=link.label,
+                                direction=direction),
+                metrics.counter("net_link_bytes_total", link=link.label,
+                                direction=direction),
+            )
         return link
 
     def link_between(self, name_a: str, name_b: str) -> Link:
@@ -164,20 +204,40 @@ class Network:
     def switch_names(self) -> List[str]:
         return [n for n, node in self.nodes.items() if isinstance(node, SwitchNode)]
 
+    # -- drop accounting ----------------------------------------------------------
+
+    def count_drop(self, reason: str, node: str, port: int = -1) -> None:
+        """Record a packet loss with a named reason (never silent)."""
+        self.drop_counts[reason] = self.drop_counts.get(reason, 0) + 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter("net_dropped_packets_total",
+                                      reason=reason, node=node).inc()
+            telemetry.tracer.emit("packet.drop", layer="net", reason=reason,
+                                  node=node, port=port)
+
     # -- data-plane delivery ------------------------------------------------------
 
     def transmit(self, from_name: str, port: int, packet: Packet) -> None:
         """Put a packet on the wire out of (from_name, port)."""
         key = (from_name, port)
         if key not in self._links:
-            return  # unwired port: packet falls off the edge (like real HW)
+            # Unwired port: the packet falls off the edge (like real HW),
+            # but the fall is on record.
+            self.count_drop(DROP_UNWIRED_PORT, from_name, port)
+            return
         link = self._links[key]
         if not link.up:
+            self.count_drop(DROP_LINK_DOWN, from_name, port)
             return
         direction = link.direction_from(from_name, port)
         survivor = link.transit(packet, direction)
         if survivor is None:
+            self.count_drop(DROP_TAP, from_name, port)
             return
+        packets_counter, bytes_counter = self._link_counters[key]
+        packets_counter.inc()
+        bytes_counter.inc(survivor.size_bytes)
         peer_name, peer_port = link.peer_of(from_name, port)
         delay = link.transmit_delay(survivor.size_bytes, direction,
                                     self.sim.now)
@@ -199,6 +259,7 @@ class Network:
         channel = self.control_channels[switch_name]
         survivor = channel.transit(packet, "c->dp")
         if survivor is None:
+            self.count_drop(DROP_CONTROL_TAP, switch_name)
             return
         node = self.nodes[switch_name]
         self.sim.schedule(
@@ -209,10 +270,12 @@ class Network:
     def send_packet_in(self, switch_name: str, packet: Packet) -> None:
         """Switch data plane -> controller, through the untrusted OS."""
         if self.controller is None:
+            self.count_drop(DROP_NO_CONTROLLER, switch_name)
             return
         channel = self.control_channels[switch_name]
         survivor = channel.transit(packet, "dp->c")
         if survivor is None:
+            self.count_drop(DROP_CONTROL_TAP, switch_name)
             return
         self.sim.schedule(
             self.jittered(channel.latency_s) + self.costs.controller_proc_s,
@@ -224,6 +287,12 @@ class Network:
     def set_link_up(self, link: Link, up: bool) -> None:
         """Flip a link's status and notify listeners (LLDP-style events)."""
         link.up = up
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            state = "up" if up else "down"
+            telemetry.metrics.counter("net_link_transitions_total",
+                                      link=link.label, state=state).inc()
+            telemetry.tracer.emit(f"link.{state}", link=link.label)
         for name, port in (link.end_a, link.end_b):
             if isinstance(self.nodes.get(name), SwitchNode):
                 for listener in self.port_status_listeners:

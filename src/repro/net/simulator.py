@@ -3,23 +3,45 @@
 Events are ``(time, sequence, callable, args)`` tuples in a binary heap;
 the sequence number breaks ties so simultaneous events run in scheduling
 order, keeping every run bit-reproducible.
+
+The simulator is also the root of the observability tree: pass a
+:class:`~repro.telemetry.Telemetry` instance and every layer built on top
+(network, switches, controller, runtime stacks) discovers it through
+``sim.telemetry``.  The tracer's clock is bound to the virtual clock, so
+trace events are stamped with deterministic simulated time.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Callable, List, Optional, Tuple
+
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class EventSimulator:
     """Heap-based event loop with virtual time in seconds."""
 
-    def __init__(self):
+    def __init__(self, telemetry: Optional[Telemetry] = None):
         self._queue: List[Tuple[float, int, Callable, tuple]] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self.events_executed = 0
+        #: Events that were still eligible to run when an event budget
+        #: (``max_events``) was exhausted.  They stay queued — this counts
+        #: budget starvation, not loss — but before this counter existed
+        #: such stalls were invisible.
+        self.events_dropped = 0
+        #: Number of ``run()`` calls that exhausted their event budget
+        #: with eligible work remaining.
+        self.budget_exhaustions = 0
+        #: Deepest the event heap has ever been.
+        self.heap_depth_high_water = 0
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if self.telemetry.enabled:
+            self.telemetry.bind_clock(lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -37,13 +59,20 @@ class EventSimulator:
         if at < self._now:
             raise ValueError(f"cannot schedule into the past (at={at}, now={self._now})")
         heapq.heappush(self._queue, (at, next(self._sequence), fn, args))
+        if len(self._queue) > self.heap_depth_high_water:
+            self.heap_depth_high_water = len(self._queue)
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
         """Drain events (optionally only up to time ``until``).
 
         Returns the number of events executed.  ``max_events`` guards
         against runaway event storms (e.g., an unmitigated DoS scenario).
+        If the budget runs out with eligible events still queued, the
+        clock stays at the last executed event (it does *not* jump to
+        ``until``, since work remains inside the window) and the deferred
+        events are tallied in :attr:`events_dropped`.
         """
+        wall_start = time.perf_counter()
         executed = 0
         while self._queue and executed < max_events:
             at, _, fn, args = self._queue[0]
@@ -53,9 +82,36 @@ class EventSimulator:
             self._now = at
             fn(*args)
             executed += 1
-        if until is not None and (not self._queue or self._queue[0][0] > until):
+        budget_exhausted = (
+            executed >= max_events and bool(self._queue)
+            and (until is None or self._queue[0][0] <= until)
+        )
+        if budget_exhausted:
+            if until is None:
+                deferred = len(self._queue)
+            else:
+                deferred = sum(1 for event in self._queue
+                               if event[0] <= until)
+            self.events_dropped += deferred
+            self.budget_exhaustions += 1
+        elif until is not None:
             self._now = max(self._now, until)
         self.events_executed += executed
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.counter("sim_events_executed_total").inc(executed)
+            metrics.counter("sim_wall_seconds_total").inc(
+                time.perf_counter() - wall_start)
+            metrics.gauge("sim_virtual_seconds").set(self._now)
+            metrics.gauge("sim_heap_depth_high_water").set_max(
+                self.heap_depth_high_water)
+            metrics.gauge("sim_events_pending").set(len(self._queue))
+            if budget_exhausted:
+                metrics.counter("sim_events_deferred_total").inc(deferred)
+                metrics.counter("sim_budget_exhausted_total").inc()
+                telemetry.tracer.emit("sim.budget_exhausted",
+                                      deferred=deferred, executed=executed)
         return executed
 
     def pending(self) -> int:

@@ -31,7 +31,8 @@ def _default_factory(name: str, num_ports: int) -> DataplaneSwitch:
 
 def linear_chain(num_switches: int,
                  factory: Optional[SwitchFactory] = None,
-                 costs: Optional[CostModel] = None
+                 costs: Optional[CostModel] = None,
+                 telemetry=None
                  ) -> Tuple[Network, Dict[str, object]]:
     """``h_src - s1 - s2 - ... - sN - h_dst``.
 
@@ -41,7 +42,7 @@ def linear_chain(num_switches: int,
     if num_switches < 1:
         raise ValueError("need at least one switch")
     factory = factory or _default_factory
-    sim = EventSimulator()
+    sim = EventSimulator(telemetry=telemetry)
     net = Network(sim, costs)
     names = [f"s{i}" for i in range(1, num_switches + 1)]
     for name in names:
@@ -56,7 +57,8 @@ def linear_chain(num_switches: int,
 
 
 def hula_fig3_topology(factory: Optional[SwitchFactory] = None,
-                       costs: Optional[CostModel] = None
+                       costs: Optional[CostModel] = None,
+                       telemetry=None
                        ) -> Tuple[Network, Dict[str, object]]:
     """The Fig 3 topology: S1 -> {S2, S3, S4} -> S5, hosts at both ends.
 
@@ -65,7 +67,7 @@ def hula_fig3_topology(factory: Optional[SwitchFactory] = None,
     S1 and port 2 toward S5.
     """
     factory = factory or _default_factory
-    sim = EventSimulator()
+    sim = EventSimulator(telemetry=telemetry)
     net = Network(sim, costs)
     for name, ports in (("s1", 4), ("s2", 2), ("s3", 2), ("s4", 2), ("s5", 4)):
         net.add_switch(factory(name, ports))
@@ -86,7 +88,8 @@ def hula_fig3_topology(factory: Optional[SwitchFactory] = None,
 
 def leaf_spine(num_leaves: int = 4, num_spines: int = 2,
                factory: Optional[SwitchFactory] = None,
-               costs: Optional[CostModel] = None
+               costs: Optional[CostModel] = None,
+               telemetry=None
                ) -> Tuple[Network, Dict[str, object]]:
     """A leaf-spine fabric with one host per leaf.
 
@@ -96,7 +99,7 @@ def leaf_spine(num_leaves: int = 4, num_spines: int = 2,
     if num_leaves < 2 or num_spines < 1:
         raise ValueError("need >= 2 leaves and >= 1 spine")
     factory = factory or _default_factory
-    sim = EventSimulator()
+    sim = EventSimulator(telemetry=telemetry)
     net = Network(sim, costs)
     leaves = [f"leaf{i}" for i in range(1, num_leaves + 1)]
     spines = [f"spine{i}" for i in range(1, num_spines + 1)]

@@ -21,11 +21,11 @@ from repro.runtime.plain import PlainController, PlainRegOpDataplane
 STACKS = ("P4Runtime", "DP-Reg-RW", "P4Auth")
 
 
-def build_stack(name: str, costs=None):
+def build_stack(name: str, costs=None, telemetry=None):
     """A fresh deployment of one stack; returns (sim, stack)."""
     if name not in STACKS:
         raise ValueError(f"stack must be one of {STACKS}")
-    sim = EventSimulator()
+    sim = EventSimulator(telemetry=telemetry)
     net = Network(sim, costs)
     switch = DataplaneSwitch("s1", num_ports=2)
     net.add_switch(switch)
@@ -48,18 +48,19 @@ def build_stack(name: str, costs=None):
     return sim, stack
 
 
-def measure(duration_s: float = 10.0,
-            costs=None) -> Dict[Tuple[str, str], RunStats]:
+def measure(duration_s: float = 10.0, costs=None,
+            telemetry=None) -> Dict[Tuple[str, str], RunStats]:
     """Sequential read and write runs on every stack.
 
     Returns ``{(stack_name, "read"|"write"): RunStats}``.  Pass a
     ``CostModel(jitter_fraction=...)`` to measure RCT *distributions*
-    (the paper's Fig 18 is a CDF).
+    (the paper's Fig 18 is a CDF).  A shared ``telemetry`` instance
+    aggregates ``runtime_rct_seconds`` across all six runs.
     """
     table: Dict[Tuple[str, str], RunStats] = {}
     for name in STACKS:
         for kind in ("read", "write"):
-            sim, stack = build_stack(name, costs)
+            sim, stack = build_stack(name, costs, telemetry=telemetry)
             table[(name, kind)] = run_sequential(
                 sim, stack, kind, "s1", "target", duration_s=duration_s)
     return table

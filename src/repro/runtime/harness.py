@@ -78,7 +78,8 @@ def run_sequential(sim: EventSimulator, stack, kind: str, switch: str,
         issue()
 
     issue()
-    sim.run(until=deadline)
+    with sim.telemetry.span("runtime.run_sequential"):
+        sim.run(until=deadline)
     # Trim duration to what actually elapsed (sim may stop early if idle).
     stats.duration_s = min(duration_s, sim.now - start) or duration_s
     return stats

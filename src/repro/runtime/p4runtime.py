@@ -24,6 +24,7 @@ from repro.core.constants import REG_OP, RegOpType
 from repro.dataplane.switch import DataplaneSwitch
 from repro.net.network import Network
 from repro.runtime.plain import build_plain_request
+from repro.telemetry import RCT_BUCKETS
 
 ResponseCallback = Callable[[bool, int], None]
 
@@ -111,6 +112,12 @@ class P4RuntimeStack:
         ctl = response.get("ctl")
         ok = ctl["msgType"] == RegOpType.ACK
         value = response.get(REG_OP)["value"]
-        self.rct_samples.append((kind, self.sim.now - sent_at, ok))
+        rct_s = self.sim.now - sent_at
+        self.rct_samples.append((kind, rct_s, ok))
+        telemetry = self.network.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.histogram(
+                "runtime_rct_seconds", buckets=RCT_BUCKETS,
+                stack="P4Runtime", kind=kind).observe(rct_s)
         if callback is not None:
             callback(ok, value)

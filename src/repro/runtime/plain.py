@@ -19,6 +19,7 @@ from repro.dataplane.pipeline import PipelineContext
 from repro.dataplane.switch import DataplaneSwitch
 from repro.dataplane.tables import MatchActionTable, MatchKind, TableEntry
 from repro.net.network import Network
+from repro.telemetry import RCT_BUCKETS
 
 #: Unauthenticated control header: message type + sequence number only.
 CTL_HEADER = HeaderType("ctl", [
@@ -188,7 +189,12 @@ class PlainController:
             self.acks += 1
         else:
             self.nacks += 1
-        self.rct_samples.append((pending.kind, self.sim.now - pending.sent_at,
-                                 ok))
+        rct_s = self.sim.now - pending.sent_at
+        self.rct_samples.append((pending.kind, rct_s, ok))
+        telemetry = self.network.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.histogram(
+                "runtime_rct_seconds", buckets=RCT_BUCKETS,
+                stack="DP-Reg-RW", kind=pending.kind).observe(rct_s)
         if pending.callback is not None:
             pending.callback(ok, value)

@@ -1,0 +1,246 @@
+"""Always-on metric primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricRegistry` hands out metric instances keyed by (name,
+labels).  Everything is dict-plus-float arithmetic — no locks (the event
+simulator is single-threaded) and no background machinery — so the
+instrumented hot paths stay cheap enough to leave enabled during
+experiments.  A *disabled* registry returns shared null singletons whose
+mutators are no-ops, which is the fast path the overhead benchmark
+(:mod:`benchmarks.bench_telemetry_overhead`) bounds.
+
+Metric names use ``snake_case`` (Prometheus-compatible); label values are
+free-form strings.  Callers on per-packet paths should hold onto the
+returned metric object instead of re-resolving it per event.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Default histogram bucket upper bounds (seconds): spans sub-microsecond
+#: data-plane costs through multi-second experiment durations.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing float."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {dict(self.labels)}, {self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (heap depth, virtual clock, ...)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_max(self, value: float) -> None:
+        """High-water-mark update: keep the larger of old and new."""
+        if value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {dict(self.labels)}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative rendering happens at export)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelItems = (),
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        if list(buckets) != sorted(buckets) or not buckets:
+            raise ValueError("buckets must be a non-empty sorted sequence")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(buckets)
+        # One count per finite bucket plus the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, {dict(self.labels)}, "
+                f"count={self.count}, sum={self.sum})")
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by disabled registries."""
+
+    kind = "counter"
+    __slots__ = ()
+    name = ""
+    labels: LabelItems = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    kind = "gauge"
+    __slots__ = ()
+    name = ""
+    labels: LabelItems = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    kind = "histogram"
+    __slots__ = ()
+    name = ""
+    labels: LabelItems = ()
+    bounds: Tuple[float, ...] = ()
+    sum = 0.0
+    count = 0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        return []
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricRegistry:
+    """Keyed store of metrics; disabled registries cost (almost) nothing."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, object]) -> Tuple[str, LabelItems]:
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, object],
+                       **kwargs):
+        key = self._key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif metric.kind != cls.kind:
+            raise TypeError(
+                f"metric {name!r} already registered as a {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._get_or_create(Histogram, name, labels,
+                                   buckets=buckets or DEFAULT_BUCKETS)
+
+    # -- inspection ---------------------------------------------------------
+
+    def get(self, name: str, **labels):
+        """The registered metric, or None if never touched."""
+        return self._metrics.get(self._key(name, labels))
+
+    def value(self, name: str, **labels) -> float:
+        """Counter/gauge value (0.0 if absent) — test convenience."""
+        metric = self.get(name, **labels)
+        return metric.value if metric is not None else 0.0
+
+    def snapshot(self) -> List[object]:
+        """All metrics, deterministically ordered by (name, labels)."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def names(self) -> List[str]:
+        return sorted({name for name, _ in self._metrics})
+
+    def with_name(self, name: str) -> List[object]:
+        return [m for m in self.snapshot() if m.name == name]
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable[object]:
+        return iter(self.snapshot())

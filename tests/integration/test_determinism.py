@@ -9,6 +9,7 @@ from repro.experiments.fig16_routescout import run_routescout
 from repro.experiments.fig17_hula import run_hula
 from repro.experiments.fig20_kmp import run_kmp_rtt
 from repro.net.trace import TraceGenerator
+from repro.telemetry import Telemetry
 
 
 def test_routescout_bitwise_reproducible():
@@ -32,6 +33,40 @@ def test_kmp_rtts_reproducible():
     second = run_kmp_rtt(repeats=3)
     for op in ("local_init", "local_update", "port_init", "port_update"):
         assert first.rtts[op] == second.rtts[op]
+
+
+def test_hula_telemetry_traces_byte_identical():
+    """Two seeded runs emit byte-identical JSONL traces.
+
+    Trace events carry only virtual time, so the full observability
+    record — drops, digest failures, key exchanges — reproduces exactly.
+    """
+    def traced_run():
+        telemetry = Telemetry(enabled=True)
+        run_hula("p4auth", duration_s=1.5, telemetry=telemetry)
+        return telemetry
+
+    first, second = traced_run(), traced_run()
+    assert len(first.tracer) > 0
+    assert first.tracer.to_jsonl() == second.tracer.to_jsonl()
+
+
+def test_hula_telemetry_metrics_reproducible_modulo_wall_clock():
+    """Prometheus dumps match once host-time metrics are filtered out."""
+    WALL_CLOCK = ("repro_sim_wall_seconds", "repro_profile_seconds")
+
+    def virtual_lines(telemetry):
+        return [line for line in telemetry.render_prometheus().splitlines()
+                if not any(line.startswith(prefix) or
+                           line.startswith(f"# TYPE {prefix}")
+                           for prefix in WALL_CLOCK)]
+
+    def traced_run():
+        telemetry = Telemetry(enabled=True)
+        run_hula("p4auth", duration_s=1.5, telemetry=telemetry)
+        return telemetry
+
+    assert virtual_lines(traced_run()) == virtual_lines(traced_run())
 
 
 def test_different_seeds_differ():

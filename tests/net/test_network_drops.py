@@ -1,0 +1,104 @@
+"""Every way a packet can vanish is on record — no silent drops.
+
+Each of the formerly silent loss paths in the network layer (unwired
+port, downed link, tap kill, missing controller, control-channel tap)
+must increment ``Network.drop_counts`` with a named reason and, when
+telemetry is enabled, the ``net_dropped_packets_total`` counter plus a
+``packet.drop`` trace event.
+"""
+
+import pytest
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import DataplaneSwitch
+from repro.net.network import (
+    DROP_CONTROL_TAP,
+    DROP_LINK_DOWN,
+    DROP_NO_CONTROLLER,
+    DROP_TAP,
+    DROP_UNWIRED_PORT,
+    Network,
+)
+from repro.net.simulator import EventSimulator
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture
+def net():
+    telemetry = Telemetry(enabled=True)
+    sim = EventSimulator(telemetry=telemetry)
+    network = Network(sim)
+    network.add_switch(DataplaneSwitch("s1", num_ports=2))
+    network.add_switch(DataplaneSwitch("s2", num_ports=2))
+    network.connect("s1", 1, "s2", 1)
+    return network
+
+
+def _drop_events(net, reason):
+    return [e for e in net.telemetry.tracer.events("packet.drop")
+            if e.fields.get("reason") == reason]
+
+
+def test_unwired_port_drop_is_recorded(net):
+    net.transmit("s1", 2, Packet())  # port 2 was never connected
+    assert net.drop_counts == {DROP_UNWIRED_PORT: 1}
+    assert net.telemetry.metrics.value(
+        "net_dropped_packets_total",
+        reason=DROP_UNWIRED_PORT, node="s1") == 1
+    (event,) = _drop_events(net, DROP_UNWIRED_PORT)
+    assert event.fields["node"] == "s1"
+    assert event.fields["port"] == 2
+
+
+def test_link_down_drop_is_recorded(net):
+    link = net.link_between("s1", "s2")
+    net.set_link_up(link, False)
+    net.transmit("s1", 1, Packet())
+    assert net.drop_counts[DROP_LINK_DOWN] == 1
+    assert _drop_events(net, DROP_LINK_DOWN)
+    # The transition itself is also traced.
+    assert net.telemetry.tracer.events("link.down")
+    assert net.telemetry.metrics.value(
+        "net_link_transitions_total", link=link.label, state="down") == 1
+
+
+def test_tap_kill_drop_is_recorded(net):
+    net.link_between("s1", "s2").add_tap(lambda packet, direction: None)
+    net.transmit("s1", 1, Packet())
+    assert net.drop_counts[DROP_TAP] == 1
+    assert _drop_events(net, DROP_TAP)
+
+
+def test_no_controller_drop_is_recorded(net):
+    net.send_packet_in("s1", Packet())
+    assert net.drop_counts[DROP_NO_CONTROLLER] == 1
+    assert _drop_events(net, DROP_NO_CONTROLLER)
+
+
+def test_control_tap_drop_is_recorded(net):
+    net.control_channels["s1"].add_tap(lambda packet, direction: None)
+    net.send_packet_out("s1", Packet())
+    assert net.drop_counts[DROP_CONTROL_TAP] == 1
+    assert _drop_events(net, DROP_CONTROL_TAP)
+
+
+def test_successful_transit_counts_link_traffic(net):
+    packet = Packet()
+    net.transmit("s1", 1, packet)
+    net.sim.run()
+    link = net.link_between("s1", "s2")
+    assert net.telemetry.metrics.value(
+        "net_link_packets_total", link=link.label, direction="a->b") == 1
+    assert net.telemetry.metrics.value(
+        "net_link_bytes_total", link=link.label,
+        direction="a->b") == packet.size_bytes
+    assert net.drop_counts == {}
+
+
+def test_drop_counts_work_without_telemetry():
+    sim = EventSimulator()  # NULL_TELEMETRY
+    network = Network(sim)
+    network.add_switch(DataplaneSwitch("s1", num_ports=2))
+    network.transmit("s1", 1, Packet())
+    assert network.drop_counts == {DROP_UNWIRED_PORT: 1}
+    assert len(network.telemetry.metrics) == 0

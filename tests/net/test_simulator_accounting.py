@@ -1,0 +1,94 @@
+"""Event-budget accounting and the run(until=..., max_events=...) clock.
+
+Regression coverage for the interaction the telemetry work surfaced:
+when ``max_events`` runs out with eligible events still queued, the
+clock must stay at the last executed event (not jump to ``until``), the
+deferred events must be tallied, and a later ``run`` must drain them.
+"""
+
+from repro.net.simulator import EventSimulator
+from repro.telemetry import Telemetry
+
+
+def _schedule_ticks(sim, count=10, period=0.1):
+    fired = []
+    for index in range(count):
+        sim.schedule_at(period * (index + 1), fired.append, index)
+    return fired
+
+
+def test_budget_exhaustion_defers_without_advancing_clock():
+    sim = EventSimulator()
+    fired = _schedule_ticks(sim)
+    executed = sim.run(until=2.0, max_events=3)
+    assert executed == 3
+    assert fired == [0, 1, 2]
+    # Clock stays at the last executed event, not at until=2.0.
+    assert sim.now == 0.1 * 3
+    # The 7 remaining events were all eligible (<= until) and deferred.
+    assert sim.events_dropped == 7
+    assert sim.budget_exhaustions == 1
+    assert sim.pending() == 7
+
+
+def test_deferred_events_survive_and_drain_later():
+    sim = EventSimulator()
+    fired = _schedule_ticks(sim)
+    sim.run(until=2.0, max_events=3)
+    executed = sim.run(until=2.0)
+    assert executed == 7
+    assert fired == list(range(10))
+    # With the queue drained, the clock advances to until as usual.
+    assert sim.now == 2.0
+    assert sim.events_dropped == 7  # counted once, not re-counted
+
+
+def test_budget_exhaustion_without_until_counts_whole_queue():
+    sim = EventSimulator()
+    _schedule_ticks(sim, count=5)
+    sim.run(max_events=2)
+    assert sim.events_dropped == 3
+    assert sim.now == 0.2
+
+
+def test_events_beyond_until_are_not_counted_as_deferred():
+    sim = EventSimulator()
+    _schedule_ticks(sim, count=10, period=0.1)  # events at 0.1 .. 1.0
+    sim.run(until=0.45, max_events=3)
+    # Only the 0.4 event was eligible and deferred; 0.5..1.0 are simply
+    # outside the window, which is normal operation, not starvation.
+    assert sim.events_dropped == 1
+
+
+def test_clean_until_run_still_advances_clock():
+    sim = EventSimulator()
+    sim.schedule_at(0.5, lambda: None)
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    assert sim.events_dropped == 0
+    assert sim.budget_exhaustions == 0
+
+
+def test_heap_depth_high_water():
+    sim = EventSimulator()
+    for index in range(6):
+        sim.schedule_at(0.1 * (index + 1), lambda: None)
+    assert sim.heap_depth_high_water == 6
+    sim.run()
+    assert sim.heap_depth_high_water == 6  # high-water survives the drain
+    assert sim.pending() == 0
+
+
+def test_budget_metrics_and_trace_event():
+    telemetry = Telemetry(enabled=True)
+    sim = EventSimulator(telemetry=telemetry)
+    _schedule_ticks(sim)
+    sim.run(until=2.0, max_events=3)
+    assert telemetry.metrics.value("sim_events_deferred_total") == 7
+    assert telemetry.metrics.value("sim_budget_exhausted_total") == 1
+    assert telemetry.metrics.value("sim_events_executed_total") == 3
+    events = telemetry.tracer.events("sim.budget_exhausted")
+    assert len(events) == 1
+    assert events[0].fields == {"deferred": 7, "executed": 3}
+    # Stamped with the virtual clock at exhaustion time.
+    assert events[0].time == sim.now
