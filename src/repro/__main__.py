@@ -14,6 +14,8 @@ same drivers the benchmark suite uses, without pytest in the way.
     python -m repro all              # everything
     python -m repro telemetry fig17  # instrumented run: JSONL trace +
                                      # Prometheus-style metrics dump
+    python -m repro chaos            # fault-injection scenarios (all)
+    python -m repro chaos kmp-blackout --seed 7 --trace-out chaos.jsonl
 """
 
 from __future__ import annotations
@@ -171,7 +173,44 @@ def cmd_telemetry(args) -> None:
           + (f" ({tel.tracer.evicted} evicted)" if tel.tracer.evicted else ""))
 
 
+def cmd_chaos(args) -> None:
+    """Run chaos scenarios under a fixed seed; non-zero exit on failure.
+
+    A target of ``smoke`` runs the two cheapest scenarios (the CI job);
+    no target runs everything.
+    """
+    from repro.faults import SCENARIOS, SMOKE_SCENARIOS, run_scenario
+    from repro.telemetry import Telemetry
+
+    if args.target is None or args.target == "all":
+        names = sorted(SCENARIOS)
+    elif args.target == "smoke":
+        names = list(SMOKE_SCENARIOS)
+    elif args.target in SCENARIOS:
+        names = [args.target]
+    else:
+        raise SystemExit(f"unknown chaos scenario {args.target!r} "
+                         f"(have: {sorted(SCENARIOS)} + 'smoke', 'all')")
+
+    failed = False
+    for index, name in enumerate(names):
+        tel = Telemetry(enabled=True)
+        report = run_scenario(name, seed=args.seed, telemetry=tel)
+        print(report.summary())
+        if args.trace_out:
+            path = (args.trace_out if len(names) == 1
+                    else f"{name}-{args.trace_out}")
+            count = tel.tracer.dump(path)
+            print(f"  # wrote {count} trace events to {path}")
+        if index < len(names) - 1:
+            print()
+        failed = failed or not report.passed
+    if failed:
+        raise SystemExit(1)
+
+
 COMMANDS = {
+    "chaos": cmd_chaos,
     "fig16": cmd_fig16,
     "fig17": cmd_fig17,
     "fig20": cmd_fig20,
@@ -194,13 +233,17 @@ def main(argv=None) -> int:
     parser.add_argument("target", nargs="?", default=None,
                         help="for 'telemetry': which experiment to "
                              f"instrument {TELEMETRY_TARGETS} "
-                             "(default: fig17)")
+                             "(default: fig17); for 'chaos': a scenario "
+                             "name, 'smoke', or 'all' (default)")
     parser.add_argument("--duration", type=float, default=30.0,
                         help="simulated duration for trace-driven "
                              "experiments (seconds)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="for 'chaos': the fault-plan seed "
+                             "(same seed => byte-identical trace)")
     parser.add_argument("--trace-out", default=None,
-                        help="for 'telemetry': JSONL trace output path "
-                             "(default: telemetry-<target>.jsonl)")
+                        help="for 'telemetry'/'chaos': JSONL trace "
+                             "output path")
     args = parser.parse_args(argv)
     if args.experiment == "all":
         for name in ("table2", "fig20", "fig21", "table3", "fig16",

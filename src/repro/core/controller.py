@@ -83,6 +83,11 @@ class ControllerStats:
     #: that someone is injecting forged messages at the data plane.
     unsolicited_nacks: int = 0
     dos_suspected: bool = False
+    #: Requests re-issued after a response timeout (bounded-retry mode).
+    request_retries: int = 0
+    #: Requests that exhausted ``max_request_attempts`` and surfaced a
+    #: terminal ``callback(False, 0)`` instead of hanging forever.
+    requests_abandoned: int = 0
     rct_samples: List[RctSample] = field(default_factory=list)
 
 
@@ -93,6 +98,10 @@ class _Pending:
     reg_name: str
     sent_at: float
     callback: Optional[ResponseCallback]
+    index: int = 0
+    value: int = 0
+    attempt: int = 1
+    timeout_handle: Optional[object] = None
 
 
 class P4AuthController:
@@ -100,7 +109,9 @@ class P4AuthController:
 
     def __init__(self, network: Network, algorithm: str = "halfsiphash",
                  seed: int = 0xC0FFEE, outstanding_threshold: int = 1000,
-                 encrypt_regops: bool = False):
+                 encrypt_regops: bool = False,
+                 request_timeout_s: Optional[float] = None,
+                 max_request_attempts: int = 3):
         self.network = network
         self.sim = network.sim
         self.costs = network.costs
@@ -112,6 +123,13 @@ class P4AuthController:
         self.alerts: List[AlertRecord] = []
         self.tamper_events: List[TamperRecord] = []
         self.outstanding_threshold = outstanding_threshold
+        #: Opt-in bounded retries: when set, a request unanswered after
+        #: this long is re-issued (fresh seq) up to ``max_request_attempts``
+        #: times, then abandoned with a terminal ``callback(False, 0)``.
+        #: ``None`` (the default) keeps the fire-and-wait behaviour that
+        #: the DoS heuristics (``unacknowledged_seqs``) are tuned for.
+        self.request_timeout_s = request_timeout_s
+        self.max_request_attempts = max_request_attempts
         #: Encrypt register-op values end to end (the §XI extension);
         #: the matching switches must set P4AuthConfig.encrypt_regops.
         self.encrypt_regops = encrypt_regops
@@ -177,7 +195,8 @@ class P4AuthController:
     # ------------------------------------------------------------------
 
     def read_register(self, switch: str, reg_name: str, index: int,
-                      callback: Optional[ResponseCallback] = None) -> int:
+                      callback: Optional[ResponseCallback] = None,
+                      _attempt: int = 1) -> int:
         """Issue an authenticated ``readReq``; returns its seq number.
 
         ``callback(ok, value)`` fires when the (verified) response
@@ -192,15 +211,18 @@ class P4AuthController:
         if self.encrypt_regops:
             request.get(P4AUTH)["flags"] = FLAG_ENCRYPTED
         self._dispatch_request("read", switch, reg_name, seq, request,
-                               callback, self.costs.compose_read_s)
+                               callback, self.costs.compose_read_s,
+                               index=index, value=0, attempt=_attempt)
         return seq
 
     def write_register(self, switch: str, reg_name: str, index: int,
                        value: int,
-                       callback: Optional[ResponseCallback] = None) -> int:
+                       callback: Optional[ResponseCallback] = None,
+                       _attempt: int = 1) -> int:
         """Issue an authenticated ``writeReq``; returns its seq number."""
         seq = self.next_seq(switch)
         key_ver = self.keys.local_key_version(switch)
+        plain_value = value
         if self.encrypt_regops:
             session = derive_session_keys(self.keys.local_key(switch, key_ver))
             value = encrypt_value(session, seq, value)
@@ -211,17 +233,22 @@ class P4AuthController:
         if self.encrypt_regops:
             request.get(P4AUTH)["flags"] = FLAG_ENCRYPTED
         self._dispatch_request("write", switch, reg_name, seq, request,
-                               callback, self.costs.compose_write_s)
+                               callback, self.costs.compose_write_s,
+                               index=index, value=plain_value,
+                               attempt=_attempt)
         return seq
 
     def _dispatch_request(self, kind: str, switch: str, reg_name: str,
                           seq: int, request: Packet,
                           callback: Optional[ResponseCallback],
-                          compose_cost: float) -> None:
+                          compose_cost: float, index: int = 0,
+                          value: int = 0, attempt: int = 1) -> None:
         self.digest.sign(self.keys.local_key(switch), request)
-        self._pending[(switch, seq)] = _Pending(
-            kind, switch, reg_name, self.sim.now, callback
+        pending = _Pending(
+            kind, switch, reg_name, self.sim.now, callback,
+            index=index, value=value, attempt=attempt,
         )
+        self._pending[(switch, seq)] = pending
         self.stats.requests_sent += 1
         if len(self._pending) > self.outstanding_threshold:
             self.stats.dos_suspected = True
@@ -229,6 +256,42 @@ class P4AuthController:
             compose_cost + self.costs.controller_digest_s,
             self.network.send_packet_out, switch, request,
         )
+        if self.request_timeout_s is not None:
+            pending.timeout_handle = self.sim.schedule_cancellable(
+                compose_cost + self.costs.controller_digest_s
+                + self.request_timeout_s,
+                self._request_timed_out, switch, seq,
+            )
+
+    def _request_timed_out(self, switch: str, seq: int) -> None:
+        pending = self._pending.pop((switch, seq), None)
+        if pending is None:
+            return  # answered in the meantime (handle raced cancellation)
+        if pending.attempt >= self.max_request_attempts:
+            self.stats.requests_abandoned += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "controller_requests_abandoned_total",
+                    kind=pending.kind).inc()
+                self.telemetry.tracer.emit(
+                    "controller.request_abandoned", switch=switch,
+                    kind=pending.kind, reg=pending.reg_name, seq=seq,
+                    attempts=pending.attempt)
+            if pending.callback is not None:
+                pending.callback(False, 0)
+            return
+        self.stats.request_retries += 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "controller_request_retries_total", kind=pending.kind).inc()
+        if pending.kind == "read":
+            self.read_register(switch, pending.reg_name, pending.index,
+                               pending.callback,
+                               _attempt=pending.attempt + 1)
+        else:
+            self.write_register(switch, pending.reg_name, pending.index,
+                                pending.value, pending.callback,
+                                _attempt=pending.attempt + 1)
 
     def outstanding_count(self) -> int:
         return len(self._pending)
@@ -280,6 +343,8 @@ class P4AuthController:
             return
         seq = hdr["seqNum"]
         pending = self._pending.pop((switch, seq), None)
+        if pending is not None and pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
         if pending is None:
             # An authenticated duplicate (replayed response) or a response
             # to a request we gave up on — or, for nAcks, fallout from an

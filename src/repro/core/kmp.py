@@ -37,6 +37,7 @@ from repro.core.messages import (
     build_eak_message,
     build_keyctl_message,
 )
+from repro.crypto.prng import XorShiftPrng
 from repro.dataplane.packet import Packet
 from repro.telemetry import KMP_RTT_BUCKETS
 
@@ -120,17 +121,44 @@ class KeyManagementProtocol:
     """Controller-resident KMP engine (owned by P4AuthController)."""
 
     def __init__(self, controller, retry_timeout_s: float = 0.02,
-                 max_attempts: int = 3):
+                 max_attempts: int = 3, backoff_factor: float = 2.0,
+                 max_backoff_s: float = 0.25, backoff_jitter: float = 0.1,
+                 backoff_seed: int = 0x5EED):
         self.c = controller
         self.stats = KmpStats()
         #: Give an exchange this long before declaring the attempt lost
         #: (lost/tampered messages otherwise stall key management forever).
+        #: Retries back off exponentially (``backoff_factor`` per attempt,
+        #: capped at ``max_backoff_s``) with seeded positive jitter, so a
+        #: congested or blacked-out channel is not hammered on a fixed
+        #: timer and racing exchanges decorrelate.
         self.retry_timeout_s = retry_timeout_s
         self.max_attempts = max_attempts
+        self.backoff_factor = backoff_factor
+        self.max_backoff_s = max_backoff_s
+        self.backoff_jitter = backoff_jitter
+        #: Observers of abandoned exchanges (the terminal failure surface;
+        #: ``bootstrap_all`` and chaos scenarios subscribe here).
+        self.on_abandoned: List[Callable[[KmpFailure], None]] = []
+        self._backoff_prng = XorShiftPrng(backoff_seed)
         self._by_seq: Dict[Tuple[str, int], _Exchange] = {}
         self._by_port: Dict[Tuple[str, int], _Exchange] = {}
         self._rollover_interval: Optional[float] = None
         self._automation_enabled = False
+
+    def retry_delay(self, attempt: int) -> float:
+        """Watchdog timeout for the given attempt (1-based).
+
+        Attempt 1 uses the base timeout with no jitter (and consumes no
+        randomness, keeping clean runs byte-identical to a jitter-free
+        configuration); retries grow exponentially and add up to
+        ``backoff_jitter`` relative jitter from the seeded PRNG.
+        """
+        delay = self.retry_timeout_s * (self.backoff_factor ** (attempt - 1))
+        delay = min(delay, self.max_backoff_s)
+        if attempt > 1 and self.backoff_jitter > 0:
+            delay *= 1.0 + self.backoff_jitter * self._backoff_prng.uniform()
+        return delay
 
     # ------------------------------------------------------------------
     # dataplane instrumentation (called from controller.provision)
@@ -183,11 +211,13 @@ class KeyManagementProtocol:
                                                   _attempt + 1))
 
     def port_key_init(self, switch: str, port: int,
-                      on_done: Optional[DoneCallback] = None) -> None:
+                      on_done: Optional[DoneCallback] = None,
+                      _attempt: int = 1) -> None:
         """Redirected ADHKD between two data planes (Fig 14c)."""
         peer, peer_port = self._peer_of(switch, port)
         exchange = _Exchange("port_init", switch, self.c.sim.now, port=port,
-                             peer=peer, peer_port=peer_port, on_done=on_done)
+                             peer=peer, peer_port=peer_port, on_done=on_done,
+                             attempt=_attempt)
         self._by_port[(switch, port)] = exchange
         seq = self.c.next_seq(switch)
         message = build_keyctl_message(KeyExchType.PORT_KEY_INIT, port, seq,
@@ -199,11 +229,13 @@ class KeyManagementProtocol:
                                                 on_done, exchange.attempt))
 
     def port_key_update(self, switch: str, port: int,
-                        on_done: Optional[DoneCallback] = None) -> None:
+                        on_done: Optional[DoneCallback] = None,
+                        _attempt: int = 1) -> None:
         """Direct DP-DP ADHKD under the current K_port (Fig 14d)."""
         peer, peer_port = self._peer_of(switch, port)
         exchange = _Exchange("port_update", switch, self.c.sim.now, port=port,
-                             peer=peer, peer_port=peer_port, on_done=on_done)
+                             peer=peer, peer_port=peer_port, on_done=on_done,
+                             attempt=_attempt)
         self._by_port[(switch, port)] = exchange
         seq = self.c.next_seq(switch)
         message = build_keyctl_message(KeyExchType.PORT_KEY_UPDATE, port, seq,
@@ -236,36 +268,69 @@ class KeyManagementProtocol:
         return result
 
     def bootstrap_all(self, on_done: Optional[Callable[[], None]] = None) -> None:
-        """Initialize local keys for every switch, then every port key."""
+        """Initialize local keys for every switch, then every port key.
+
+        ``on_done`` fires when every operation has *resolved* — completed
+        or abandoned after ``max_attempts`` — never hanging silently on a
+        dead switch.  Callers inspect :attr:`KmpStats.failures` for the
+        outcome.  Port keys are only attempted across links whose both
+        endpoints obtained a local key.
+        """
         switches = sorted(self.c.dataplanes)
         if not switches:
             if on_done is not None:
                 on_done()
             return
-        remaining = {"locals": len(switches), "ports": 0}
+        state = {"phase": "locals",
+                 "locals": set(switches),
+                 "ports": set()}
+        hooks: List[Callable[[KmpFailure], None]] = []
 
-        def after_port(_record: KmpOpRecord) -> None:
-            remaining["ports"] -= 1
-            if remaining["ports"] == 0 and on_done is not None:
+        def finish() -> None:
+            state["phase"] = "done"
+            if hooks:
+                self.on_abandoned.remove(hooks.pop())
+            if on_done is not None:
                 on_done()
 
-        def start_ports() -> None:
-            links = self.switch_links()
-            remaining["ports"] = len(links)
-            if not links:
-                if on_done is not None:
-                    on_done()
-                return
-            for sw_a, port_a, _sw_b, _port_b in links:
-                self.port_key_init(sw_a, port_a, on_done=after_port)
-
-        def after_local(_record: KmpOpRecord) -> None:
-            remaining["locals"] -= 1
-            if remaining["locals"] == 0:
+        def resolve_local(switch: str) -> None:
+            state["locals"].discard(switch)
+            if state["phase"] == "locals" and not state["locals"]:
                 start_ports()
 
+        def resolve_port(key: Tuple[str, Optional[int]]) -> None:
+            state["ports"].discard(key)
+            if state["phase"] == "ports" and not state["ports"]:
+                finish()
+
+        def start_ports() -> None:
+            state["phase"] = "ports"
+            keyed = [
+                (sw_a, port_a)
+                for sw_a, port_a, sw_b, _port_b in self.switch_links()
+                if (self.c.keys.has_local_key(sw_a)
+                    and self.c.keys.has_local_key(sw_b))
+            ]
+            if not keyed:
+                finish()
+                return
+            state["ports"] = set(keyed)
+            for sw_a, port_a in keyed:
+                self.port_key_init(
+                    sw_a, port_a,
+                    on_done=lambda r: resolve_port((r.switch, r.port)))
+
+        def on_abandon(failure: KmpFailure) -> None:
+            if failure.op == "local_init":
+                resolve_local(failure.switch)
+            elif failure.op == "port_init":
+                resolve_port((failure.switch, failure.port))
+
+        hooks.append(on_abandon)
+        self.on_abandoned.append(on_abandon)
         for switch in switches:
-            self.local_key_init(switch, on_done=after_local)
+            self.local_key_init(switch,
+                                on_done=lambda r: resolve_local(r.switch))
 
     def schedule_rollover(self, interval_s: float) -> None:
         """Periodically update every local and port key (§VIII key-size
@@ -467,8 +532,8 @@ class KeyManagementProtocol:
 
     def _watch(self, exchange: _Exchange, restart) -> None:
         """Re-run the operation if it hasn't completed within the timeout."""
-        self.c.sim.schedule(self.retry_timeout_s, self._check_exchange,
-                            exchange, restart)
+        self.c.sim.schedule(self.retry_delay(exchange.attempt),
+                            self._check_exchange, exchange, restart)
 
     def _check_exchange(self, exchange: _Exchange, restart) -> None:
         if exchange.completed:
@@ -476,16 +541,7 @@ class KeyManagementProtocol:
         self._purge(exchange)
         telemetry = self.c.telemetry
         if exchange.attempt >= self.max_attempts:
-            self.stats.failures.append(KmpFailure(
-                exchange.op, exchange.switch, exchange.port,
-                exchange.attempt, self.c.sim.now))
-            if telemetry.enabled:
-                telemetry.metrics.counter("kmp_failures_total",
-                                          op=exchange.op).inc()
-                telemetry.tracer.emit("kmp.failure", op=exchange.op,
-                                      switch=exchange.switch,
-                                      port=exchange.port,
-                                      attempts=exchange.attempt)
+            self._abandon(exchange)
             return
         self.stats.retries += 1
         if telemetry.enabled:
@@ -493,15 +549,34 @@ class KeyManagementProtocol:
                                       op=exchange.op).inc()
         restart()
 
+    def _abandon(self, exchange: _Exchange) -> None:
+        """Terminal failure: record, count, and notify observers."""
+        failure = KmpFailure(exchange.op, exchange.switch, exchange.port,
+                             exchange.attempt, self.c.sim.now)
+        self.stats.failures.append(failure)
+        telemetry = self.c.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter("kmp_exchange_abandoned_total",
+                                      op=exchange.op).inc()
+            telemetry.tracer.emit("kmp.exchange_abandoned", op=exchange.op,
+                                  switch=exchange.switch,
+                                  port=exchange.port,
+                                  attempts=exchange.attempt)
+        for hook in list(self.on_abandoned):
+            hook(failure)
+
     def _retry_port_op(self, op: str, switch: str, port: int,
                        on_done, prior_attempt: int) -> None:
         method = (self.port_key_init if op == "port_init"
                   else self.port_key_update)
-        method(switch, port, on_done=on_done)
-        # Propagate the attempt count onto the fresh exchange.
-        fresh = self._by_port.get((switch, port))
-        if fresh is not None:
-            fresh.attempt = prior_attempt + 1
+        try:
+            method(switch, port, on_done=on_done,
+                   _attempt=prior_attempt + 1)
+        except KeyError:
+            # The peer vanished between attempts (link removed, topology
+            # change): abandon instead of crashing the event loop.
+            self._abandon(_Exchange(op, switch, self.c.sim.now, port=port,
+                                    attempt=prior_attempt + 1))
 
     def _purge(self, exchange: _Exchange) -> None:
         """Drop all routing-table references to a stale exchange."""

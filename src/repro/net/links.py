@@ -63,6 +63,19 @@ class Link:
     def direction_from(self, name: str, port: int) -> str:
         return "a->b" if (name, port) == self.end_a else "b->a"
 
+    def joins(self, name_a: str, name_b: str) -> bool:
+        """True if this link connects the two named nodes.
+
+        ``"*"`` matches any node — fault plans use it to target whole
+        classes of links (``joins("s1", "*")`` = every link at s1).
+        """
+        names = (self.end_a[0], self.end_b[0])
+        for first, second in ((name_a, name_b), (name_b, name_a)):
+            if ((first == "*" or first == names[0])
+                    and (second == "*" or second == names[1])):
+                return True
+        return False
+
     def add_tap(self, tap: Tap) -> None:
         """Attach an in-flight observer/modifier (MitM attachment point)."""
         self.taps.append(tap)
@@ -125,6 +138,11 @@ class ControlChannel:
         self.taps: List[Tap] = []
         self.messages_carried = 0
         self.messages_dropped_by_taps = 0
+
+    @property
+    def label(self) -> str:
+        """Stable identifier used as the telemetry ``channel`` label."""
+        return f"c-{self.switch_name}"
 
     def add_tap(self, tap: Tap) -> None:
         self.taps.append(tap)

@@ -31,6 +31,16 @@ DROP_LINK_DOWN = "link_down"
 DROP_TAP = "tamper_tap"
 DROP_CONTROL_TAP = "control_tamper_tap"
 DROP_NO_CONTROLLER = "no_controller"
+DROP_NODE_DOWN = "node_down"
+DROP_FAULT_INJECTED = "fault_injected"
+
+#: A delivery shaper decides how a packet that survived the tap chain
+#: actually arrives: it returns a list of ``(packet, delay_s)`` deliveries
+#: (empty = injected loss, two entries = duplication, inflated delay =
+#: reorder/jitter).  ``repro.faults.FaultInjector`` installs one; the
+#: default ``None`` keeps the exact pre-fault behavior.
+DeliveryShaper = Callable[["Link", str, Packet, float],
+                          List[Tuple[Packet, float]]]
 
 
 class SwitchNode:
@@ -41,6 +51,13 @@ class SwitchNode:
         self.switch = switch
         self.name = switch.name
         self.drops: List[Tuple[float, str]] = []
+        #: Crash state: a downed switch eats every arriving packet (with a
+        #: named drop reason).  Flipped by node faults (repro.faults).
+        self.up = True
+        #: Clock skew the node fault layer can impose: the switch's local
+        #: view of time is ``sim.now + clock_skew_s`` (a KMP peer with a
+        #: drifting oscillator).
+        self.clock_skew_s = 0.0
         metrics = network.telemetry.metrics
         self._packets_counter = metrics.counter(
             "net_switch_packets_total", switch=self.name)
@@ -51,8 +68,12 @@ class SwitchNode:
         """Handle an arriving packet: run the pipeline, schedule outcomes."""
         sim = self.network.sim
         costs = self.network.costs
+        if not self.up:
+            self.network.count_drop(DROP_NODE_DOWN, self.name, ingress_port)
+            return
         hash_before = self.switch.hash.invocations
-        actions = self.switch.process(packet, ingress_port, now=sim.now)
+        actions = self.switch.process(packet, ingress_port,
+                                      now=sim.now + self.clock_skew_s)
         hash_ops = self.switch.hash.invocations - hash_before
         self._packets_counter.inc()
         if hash_ops:
@@ -113,6 +134,8 @@ class Network:
         self.links: List[Link] = []
         self.control_channels: Dict[str, ControlChannel] = {}
         self.controller = None  # set by attach_controller
+        #: Optional fault-injection delivery shaper (see DeliveryShaper).
+        self.delivery_shaper: Optional[DeliveryShaper] = None
         self.port_status_listeners: List[Callable[[str, int, bool], None]] = []
         #: Drop tally by reason — populated by every formerly silent
         #: drop path; always on (it is just a dict increment).
@@ -242,7 +265,16 @@ class Network:
         delay = link.transmit_delay(survivor.size_bytes, direction,
                                     self.sim.now)
         peer = self.nodes[peer_name]
-        self.sim.schedule(delay, peer.receive, survivor, peer_port)
+        if self.delivery_shaper is None:
+            self.sim.schedule(delay, peer.receive, survivor, peer_port)
+            return
+        deliveries = self.delivery_shaper(link, direction, survivor, delay)
+        if not deliveries:
+            self.count_drop(DROP_FAULT_INJECTED, from_name, port)
+            return
+        for shaped_packet, shaped_delay in deliveries:
+            self.sim.schedule(shaped_delay, peer.receive, shaped_packet,
+                              peer_port)
 
     def jittered(self, delay: float) -> float:
         """Apply the cost model's uniform relative jitter (seeded)."""

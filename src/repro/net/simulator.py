@@ -21,6 +21,37 @@ from typing import Callable, List, Optional, Tuple
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
+class EventHandle:
+    """A cancellable scheduled event (from :meth:`EventSimulator.schedule_cancellable`).
+
+    Cancellation is lazy: the heap entry stays queued and is discarded
+    when its time comes, which keeps the heap discipline (and therefore
+    determinism) untouched.  Fault injectors and retry timers use this to
+    withdraw restarts/timeouts that completion made moot.
+    """
+
+    __slots__ = ("_sim", "_fn", "_args", "cancelled", "fired")
+
+    def __init__(self, sim: "EventSimulator", fn: Callable, args: tuple):
+        self._sim = sim
+        self._fn = fn
+        self._args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from running (no-op if it already ran)."""
+        if not self.fired:
+            self.cancelled = True
+
+    def _fire(self) -> None:
+        self.fired = True
+        if self.cancelled:
+            self._sim.events_cancelled += 1
+            return
+        self._fn(*self._args)
+
+
 class EventSimulator:
     """Heap-based event loop with virtual time in seconds."""
 
@@ -29,6 +60,8 @@ class EventSimulator:
         self._sequence = itertools.count()
         self._now = 0.0
         self.events_executed = 0
+        #: Cancelled events that reached their fire time and were discarded.
+        self.events_cancelled = 0
         #: Events that were still eligible to run when an event budget
         #: (``max_events``) was exhausted.  They stay queued — this counts
         #: budget starvation, not loss — but before this counter existed
@@ -53,6 +86,13 @@ class EventSimulator:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_cancellable(self, delay: float, fn: Callable,
+                             *args) -> EventHandle:
+        """Like :meth:`schedule`, but returns a cancellable handle."""
+        handle = EventHandle(self, fn, args)
+        self.schedule(delay, handle._fire)
+        return handle
 
     def schedule_at(self, at: float, fn: Callable, *args) -> None:
         """Run ``fn(*args)`` at absolute virtual time ``at``."""

@@ -32,10 +32,21 @@ ResponseCallback = Callable[[bool, int], None]
 class P4RuntimeStack:
     """Register access via the (modeled) P4Runtime API."""
 
-    def __init__(self, network: Network):
+    def __init__(self, network: Network,
+                 request_timeout_s: Optional[float] = None,
+                 max_request_attempts: int = 3):
         self.network = network
         self.sim = network.sim
         self.costs = network.costs
+        #: Opt-in bounded retries: ``None`` preserves the legacy behaviour
+        #: where an OS-level drop makes the request time out *silently*;
+        #: otherwise lost requests are re-issued after this delay up to
+        #: ``max_request_attempts`` times, then abandoned via
+        #: ``callback(False, 0)``.
+        self.request_timeout_s = request_timeout_s
+        self.max_request_attempts = max_request_attempts
+        self.request_retries = 0
+        self.requests_abandoned = 0
         self._switches: Dict[str, DataplaneSwitch] = {}
         self._seq = 1
         self.rct_samples = []  # (kind, rct_s, ok)
@@ -56,7 +67,7 @@ class P4RuntimeStack:
 
     def _issue(self, kind: str, switch: str, reg_name: str, index: int,
                value: int, callback: Optional[ResponseCallback],
-               compose_cost: float) -> int:
+               compose_cost: float, attempt: int = 1) -> int:
         seq = self._seq
         self._seq += 1
         sent_at = self.sim.now
@@ -64,12 +75,40 @@ class P4RuntimeStack:
         request_delay = (compose_cost + self.costs.p4runtime_overhead_s
                          + self.network.jittered(self.costs.cdp_one_way_s))
         self.sim.schedule(request_delay, self._apply, kind, switch, reg_name,
-                          index, value, seq, sent_at, callback)
+                          index, value, seq, sent_at, callback, attempt)
         return seq
+
+    def _lost(self, kind: str, switch: str, reg_name: str, index: int,
+              value: int, seq: int, callback: Optional[ResponseCallback],
+              attempt: int) -> None:
+        """A request or response died inside the switch OS."""
+        if self.request_timeout_s is None:
+            return  # legacy: times out silently
+        if attempt >= self.max_request_attempts:
+            self.requests_abandoned += 1
+            telemetry = self.network.telemetry
+            if telemetry.enabled:
+                telemetry.metrics.counter(
+                    "runtime_requests_abandoned_total",
+                    stack="P4Runtime", kind=kind).inc()
+                telemetry.tracer.emit(
+                    "runtime.request_abandoned", stack="P4Runtime",
+                    switch=switch, kind=kind, reg=reg_name, seq=seq,
+                    attempts=attempt)
+            if callback is not None:
+                self.sim.schedule(0.0, callback, False, 0)
+            return
+        self.request_retries += 1
+        compose_cost = (self.costs.compose_read_s if kind == "read"
+                        else self.costs.compose_write_s)
+        self.sim.schedule(self.request_timeout_s, self._issue, kind, switch,
+                          reg_name, index, value, callback, compose_cost,
+                          attempt + 1)
 
     def _apply(self, kind: str, switch: str, reg_name: str, index: int,
                value: int, seq: int, sent_at: float,
-               callback: Optional[ResponseCallback]) -> None:
+               callback: Optional[ResponseCallback],
+               attempt: int = 1) -> None:
         # The request parameters traverse the switch OS (SDK/driver), so
         # the compromised-OS tap chain gets its chance to mangle them.
         msg_type = RegOpType.READ_REQ if kind == "read" else RegOpType.WRITE_REQ
@@ -79,7 +118,9 @@ class P4RuntimeStack:
         channel = self.network.control_channels[switch]
         survivor = channel.transit(surrogate, "c->dp")
         if survivor is None:
-            return  # dropped in the OS; the request times out silently
+            self._lost(kind, switch, reg_name, index, value, seq, callback,
+                       attempt)
+            return
         payload = survivor.get(REG_OP)
         register = device.registers.get(device.registers.name_of(
             payload["regId"]))
@@ -100,6 +141,8 @@ class P4RuntimeStack:
         )
         survivor_up = channel.transit(response, "dp->c")
         if survivor_up is None:
+            self._lost(kind, switch, reg_name, index, value, seq, callback,
+                       attempt)
             return
         response_delay = (self.costs.switch_fwd_s
                           + self.network.jittered(self.costs.cdp_one_way_s)

@@ -117,6 +117,11 @@ class _PlainPending:
     kind: str
     sent_at: float
     callback: Optional[ResponseCallback]
+    reg_name: str = ""
+    index: int = 0
+    value: int = 0
+    attempt: int = 1
+    timeout_handle: Optional[object] = None
 
 
 class PlainController:
@@ -127,10 +132,19 @@ class PlainController:
     run over either stack.
     """
 
-    def __init__(self, network: Network):
+    def __init__(self, network: Network,
+                 request_timeout_s: Optional[float] = None,
+                 max_request_attempts: int = 3):
         self.network = network
         self.sim = network.sim
         self.costs = network.costs
+        #: Opt-in bounded retries (same contract as P4AuthController):
+        #: ``None`` keeps legacy fire-and-wait, otherwise unanswered
+        #: requests are re-issued then abandoned with ``callback(False, 0)``.
+        self.request_timeout_s = request_timeout_s
+        self.max_request_attempts = max_request_attempts
+        self.request_retries = 0
+        self.requests_abandoned = 0
         self._seq: Dict[str, int] = {}
         self._pending: Dict[Tuple[str, int], _PlainPending] = {}
         self._reg_ids: Dict[str, Dict[str, int]] = {}
@@ -165,16 +179,50 @@ class PlainController:
     def _issue(self, msg_type: RegOpType, kind: str, switch: str,
                reg_name: str, index: int, value: int,
                callback: Optional[ResponseCallback],
-               compose_cost: float) -> int:
+               compose_cost: float, attempt: int = 1) -> int:
         seq = self._next_seq(switch)
         request = build_plain_request(
             msg_type, self._reg_ids[switch][reg_name], index, value, seq
         )
-        self._pending[(switch, seq)] = _PlainPending(kind, self.sim.now,
-                                                     callback)
+        pending = _PlainPending(kind, self.sim.now, callback,
+                                reg_name=reg_name, index=index, value=value,
+                                attempt=attempt)
+        self._pending[(switch, seq)] = pending
         self.sim.schedule(compose_cost, self.network.send_packet_out,
                           switch, request)
+        if self.request_timeout_s is not None:
+            pending.timeout_handle = self.sim.schedule_cancellable(
+                compose_cost + self.request_timeout_s,
+                self._request_timed_out, switch, seq,
+            )
         return seq
+
+    def _request_timed_out(self, switch: str, seq: int) -> None:
+        pending = self._pending.pop((switch, seq), None)
+        if pending is None:
+            return
+        if pending.attempt >= self.max_request_attempts:
+            self.requests_abandoned += 1
+            telemetry = self.network.telemetry
+            if telemetry.enabled:
+                telemetry.metrics.counter(
+                    "runtime_requests_abandoned_total",
+                    stack="DP-Reg-RW", kind=pending.kind).inc()
+                telemetry.tracer.emit(
+                    "runtime.request_abandoned", stack="DP-Reg-RW",
+                    switch=switch, kind=pending.kind, reg=pending.reg_name,
+                    seq=seq, attempts=pending.attempt)
+            if pending.callback is not None:
+                pending.callback(False, 0)
+            return
+        self.request_retries += 1
+        msg_type = (RegOpType.READ_REQ if pending.kind == "read"
+                    else RegOpType.WRITE_REQ)
+        compose_cost = (self.costs.compose_read_s if pending.kind == "read"
+                        else self.costs.compose_write_s)
+        self._issue(msg_type, pending.kind, switch, pending.reg_name,
+                    pending.index, pending.value, pending.callback,
+                    compose_cost, attempt=pending.attempt + 1)
 
     def handle_packet_in(self, switch: str, packet: Packet) -> None:
         if not packet.has("ctl"):
@@ -183,6 +231,8 @@ class PlainController:
         pending = self._pending.pop((switch, ctl["seqNum"]), None)
         if pending is None:
             return
+        if pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
         ok = ctl["msgType"] == RegOpType.ACK
         value = packet.get(REG_OP)["value"] if packet.has(REG_OP) else 0
         if ok:

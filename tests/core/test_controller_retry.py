@@ -1,0 +1,115 @@
+"""P4Auth controller bounded request retries (ISSUE 2).
+
+Opt-in ``request_timeout_s`` gives the authenticated C-DP path the same
+terminal-failure surface as the comparison stacks — with the extra twist
+that every resent request must be re-signed (and, for writes, the value
+re-encrypted) under a *fresh* sequence number, or the switch's replay
+window would reject the retry itself.
+"""
+
+from repro.core.constants import P4AUTH, REG_OP
+from tests.conftest import Deployment
+
+
+def retry_deployment(timeout_s=0.05, attempts=3):
+    dep = Deployment(num_switches=1, registers=[("demo", 64, 16)])
+    dep.controller.request_timeout_s = timeout_s
+    dep.controller.max_request_attempts = attempts
+    return dep
+
+
+def test_lost_request_abandoned_with_terminal_callback():
+    dep = retry_deployment()
+    seqs = []
+
+    def eat_requests(packet, direction):
+        if direction == "c->dp" and packet.has(REG_OP):
+            seqs.append(packet.get(P4AUTH)["seqNum"])
+            return None
+        return packet
+
+    dep.net.control_channels["s1"].add_tap(eat_requests)
+    outcomes = []
+    dep.controller.write_register("s1", "demo", 0, 0x42,
+                                  lambda ok, v: outcomes.append((ok, v)))
+    dep.run(2.0)
+    assert outcomes == [(False, 0)]
+    assert dep.controller.stats.request_retries == 2
+    assert dep.controller.stats.requests_abandoned == 1
+    assert dep.controller.outstanding_count() == 0
+    # Each resend was freshly signed: three distinct sequence numbers.
+    assert len(seqs) == 3 and len(set(seqs)) == 3
+
+
+def test_retried_write_reencrypts_and_lands_the_plain_value():
+    dep = retry_deployment()
+    state = {"eaten": 0}
+
+    def eat_first(packet, direction):
+        if (direction == "c->dp" and packet.has(REG_OP)
+                and state["eaten"] < 1):
+            state["eaten"] += 1
+            return None
+        return packet
+
+    dep.net.control_channels["s1"].add_tap(eat_first)
+    outcomes = []
+    dep.controller.write_register("s1", "demo", 2, 0xBEEF,
+                                  lambda ok, v: outcomes.append(ok))
+    dep.run(2.0)
+    assert outcomes == [True]
+    assert dep.controller.stats.request_retries == 1
+    # The retry re-encrypted the original plaintext, not the ciphertext.
+    assert dep.switch("s1").registers.get("demo").read(2) == 0xBEEF
+
+
+def test_successful_request_cancels_its_timeout():
+    dep = retry_deployment()
+    cancelled_before = dep.sim.events_cancelled
+    outcomes = []
+    dep.controller.write_register("s1", "demo", 1, 0x7,
+                                  lambda ok, v: outcomes.append(ok))
+    dep.run(2.0)
+    assert outcomes == [True]  # exactly one callback, no late failure
+    assert dep.controller.stats.request_retries == 0
+    assert dep.sim.events_cancelled == cancelled_before + 1
+
+
+def test_read_retry_path():
+    dep = retry_deployment()
+    dep.switch("s1").registers.get("demo").write(4, 0x1234)
+    state = {"eaten": 0}
+
+    def eat_first(packet, direction):
+        if (direction == "c->dp" and packet.has(REG_OP)
+                and state["eaten"] < 1):
+            state["eaten"] += 1
+            return None
+        return packet
+
+    dep.net.control_channels["s1"].add_tap(eat_first)
+    outcomes = []
+    dep.controller.read_register("s1", "demo", 4,
+                                 lambda ok, v: outcomes.append((ok, v)))
+    dep.run(2.0)
+    assert outcomes == [(True, 0x1234)]
+    assert dep.controller.stats.request_retries == 1
+
+
+def test_legacy_default_has_no_timeout_machinery():
+    dep = Deployment(num_switches=1, registers=[("demo", 64, 16)])
+    assert dep.controller.request_timeout_s is None
+
+    def eat_requests(packet, direction):
+        if direction == "c->dp" and packet.has(REG_OP):
+            return None
+        return packet
+
+    dep.net.control_channels["s1"].add_tap(eat_requests)
+    outcomes = []
+    dep.controller.write_register("s1", "demo", 0, 0x42,
+                                  lambda ok, v: outcomes.append(ok))
+    dep.run(2.0)
+    assert outcomes == []  # the pre-ISSUE-2 contract, unchanged
+    assert dep.controller.stats.requests_abandoned == 0
+    assert dep.controller.outstanding_count() == 1

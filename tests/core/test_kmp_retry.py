@@ -119,3 +119,48 @@ def test_successful_exchange_triggers_no_retry(single_switch):
     single_switch.run(1.0)
     assert single_switch.controller.kmp.stats.retries == 0
     assert single_switch.controller.kmp.stats.failures == []
+
+
+class TestDeadPeer:
+    """Regression: a dead peer must not spin the event loop (ISSUE 2)."""
+
+    def test_dead_peer_abandons_within_a_tiny_event_budget(self):
+        dep = Deployment(num_switches=1, bootstrap=False)
+        dep.net.nodes["s1"].up = False  # crashed before key exchange
+        records = []
+        dep.controller.kmp.on_abandoned.append(records.append)
+        dep.controller.kmp.local_key_init("s1")
+        dep.sim.run(until=10.0, max_events=5_000)
+        # Bounded retries: the exchange is abandoned, not retried forever.
+        assert dep.sim.budget_exhaustions == 0
+        assert [f.op for f in records] == ["local_init"]
+        assert dep.controller.kmp.stats.failures == records
+        # The loop actually drained: nothing left pending anywhere.
+        assert dep.sim.pending() == 0
+        assert not dep.controller.kmp._by_seq
+
+    def test_dead_peer_leaves_the_loop_idle_afterwards(self):
+        dep = Deployment(num_switches=1, bootstrap=False)
+        dep.net.nodes["s1"].up = False
+        dep.controller.kmp.local_key_init("s1")
+        dep.sim.run(until=10.0)
+        executed_after_abandon = dep.sim.run(until=100.0)
+        assert executed_after_abandon == 0  # no self-rescheduling spin
+
+    def test_bootstrap_all_resolves_despite_a_dead_switch(self):
+        dep = Deployment(num_switches=2, bootstrap=False,
+                         connect_pairs=[("s1", 1, "s2", 1)])
+        dep.net.nodes["s2"].up = False
+        done = []
+        dep.controller.kmp.bootstrap_all(on_done=lambda: done.append(
+            dep.sim.now))
+        dep.sim.run(until=10.0, max_events=50_000)
+        # The barrier tolerates the failure instead of hanging forever.
+        assert done, "bootstrap_all never resolved with a dead switch"
+        assert dep.controller.keys.has_local_key("s1")
+        assert not dep.controller.keys.has_local_key("s2")
+        # Port keying over the half-dead link was skipped, not leaked.
+        assert not dep.controller.kmp._by_seq
+        assert not dep.controller.kmp._by_port
+        failures = {f.switch for f in dep.controller.kmp.stats.failures}
+        assert failures == {"s2"}

@@ -1,5 +1,6 @@
 """Property tests: arbitrary header layouts pack/parse consistently."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dataplane.headers import HeaderType
@@ -53,3 +54,30 @@ def test_zero_header_is_all_zero_bytes(header_type):
 def test_parse_ignores_trailing_bytes(header, trailer):
     parsed = header.header_type.parse(header.serialize() + trailer)
     assert parsed == header
+
+
+@given(header_instances(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_truncated_buffer_rejected_cleanly(header, data):
+    """Any strict prefix raises ValueError naming the shortfall."""
+    wire = header.serialize()
+    cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+    with pytest.raises(ValueError, match="bytes"):
+        header.header_type.parse(wire[:cut])
+
+
+@given(header_instances(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_bit_flipped_buffer_parses_to_what_it_says(header, data):
+    """Corruption never crashes the structural parse: the flipped buffer
+    parses, every field stays within its declared width, and serializing
+    reproduces the corrupted bytes exactly (no silent normalization)."""
+    wire = bytearray(header.serialize())
+    position = data.draw(st.integers(min_value=0,
+                                     max_value=len(wire) * 8 - 1))
+    wire[position // 8] ^= 1 << (position % 8)
+    parsed = header.header_type.parse(bytes(wire))
+    for fname, bits in header.header_type.fields:
+        assert 0 <= parsed[fname] < (1 << bits)
+    assert parsed.serialize() == bytes(wire)
+    assert parsed != header  # one flipped bit always lands in some field

@@ -1,0 +1,49 @@
+"""ChaosScenario runner: the smoke scenarios pass and report stably."""
+
+import pytest
+
+from repro.faults import (
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    ChaosReport,
+    run_scenario,
+)
+
+
+def test_smoke_scenarios_are_registered_and_cheap():
+    assert set(SMOKE_SCENARIOS) <= set(SCENARIOS)
+    assert "lossy-fig17" in SCENARIOS  # the expensive one stays out of smoke
+    assert "lossy-fig17" not in SMOKE_SCENARIOS
+
+
+@pytest.mark.parametrize("name", SMOKE_SCENARIOS)
+def test_smoke_scenario_passes(name):
+    report = run_scenario(name, seed=1)
+    assert report.scenario == name
+    assert report.seed == 1
+    assert report.passed, report.summary()
+    assert report.failures() == []
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(KeyError):
+        run_scenario("no-such-scenario")
+
+
+def test_same_seed_gives_identical_reports():
+    first = run_scenario("kmp-blackout", seed=3)
+    second = run_scenario("kmp-blackout", seed=3)
+    assert first.invariants == second.invariants
+    assert first.metrics == second.metrics
+
+
+def test_report_summary_formatting():
+    report = ChaosReport(scenario="demo", seed=9)
+    report.check("holds", True, "fine")
+    report.check("breaks", False, "boom")
+    assert not report.passed
+    assert [inv.name for inv in report.failures()] == ["breaks"]
+    text = report.summary()
+    assert "scenario 'demo' (seed=9): FAIL" in text
+    assert "[ok ] holds — fine" in text
+    assert "[FAIL] breaks — boom" in text

@@ -1,0 +1,153 @@
+"""Bounded request retries in the comparison stacks (ISSUE 2).
+
+Both non-P4Auth stacks default to the legacy behaviour (a lost request
+vanishes silently); opting into ``request_timeout_s`` turns loss into
+bounded retries with a terminal ``callback(False, 0)``.
+"""
+
+from repro.core.constants import REG_OP
+from repro.dataplane.switch import DataplaneSwitch
+from repro.net.network import Network
+from repro.net.simulator import EventSimulator
+from repro.runtime.p4runtime import P4RuntimeStack
+from repro.runtime.plain import PlainController, PlainRegOpDataplane
+
+
+def plain_deployment(**controller_kwargs):
+    sim = EventSimulator()
+    net = Network(sim)
+    switch = DataplaneSwitch("s1", num_ports=2)
+    net.add_switch(switch)
+    switch.registers.define("target", 64, 16)
+    dataplane = PlainRegOpDataplane(switch).install()
+    dataplane.map_register("target")
+    controller = PlainController(net, **controller_kwargs)
+    controller.provision(switch)
+    return sim, net, controller
+
+
+def p4runtime_deployment(**stack_kwargs):
+    sim = EventSimulator()
+    net = Network(sim)
+    switch = DataplaneSwitch("s1", num_ports=2)
+    net.add_switch(switch)
+    switch.registers.define("target", 64, 16)
+    stack = P4RuntimeStack(net, **stack_kwargs)
+    stack.provision(switch)
+    return sim, net, stack
+
+
+def drop_requests(net, count=None):
+    """Tap the control channel: eat up to ``count`` c->dp requests."""
+    state = {"eaten": 0}
+
+    def tap(packet, direction):
+        if direction != "c->dp" or not packet.has(REG_OP):
+            return packet
+        if count is not None and state["eaten"] >= count:
+            return packet
+        state["eaten"] += 1
+        return None
+
+    net.control_channels["s1"].add_tap(tap)
+    return state
+
+
+class TestPlainStackRetry:
+    def test_lost_request_abandoned_terminally(self):
+        sim, net, controller = plain_deployment(request_timeout_s=0.01,
+                                                max_request_attempts=3)
+        drop_requests(net)
+        outcomes = []
+        controller.write_register("s1", "target", 0, 0x42,
+                                  lambda ok, v: outcomes.append((ok, v)))
+        sim.run(until=2.0)
+        assert outcomes == [(False, 0)]
+        assert controller.request_retries == 2
+        assert controller.requests_abandoned == 1
+        assert not controller._pending
+
+    def test_retry_recovers_from_a_single_loss(self):
+        sim, net, controller = plain_deployment(request_timeout_s=0.01)
+        drop_requests(net, count=1)
+        outcomes = []
+        controller.write_register("s1", "target", 3, 0x77,
+                                  lambda ok, v: outcomes.append((ok, v)))
+        sim.run(until=2.0)
+        assert outcomes == [(True, 0x77)]
+        assert controller.request_retries == 1
+        assert controller.requests_abandoned == 0
+        assert net.switch("s1").registers.get("target").read(3) == 0x77
+
+    def test_success_cancels_the_timeout(self):
+        sim, net, controller = plain_deployment(request_timeout_s=0.01)
+        outcomes = []
+        controller.write_register("s1", "target", 0, 0x11,
+                                  lambda ok, v: outcomes.append(ok))
+        sim.run(until=2.0)
+        assert outcomes == [True]  # no spurious late failure callback
+        assert controller.request_retries == 0
+        assert sim.events_cancelled == 1  # the armed timeout was withdrawn
+
+    def test_legacy_default_stays_silent(self):
+        sim, net, controller = plain_deployment()  # request_timeout_s=None
+        drop_requests(net)
+        outcomes = []
+        controller.write_register("s1", "target", 0, 0x42,
+                                  lambda ok, v: outcomes.append(ok))
+        sim.run(until=2.0)
+        assert outcomes == []  # the old contract: loss means no callback
+        assert controller.requests_abandoned == 0
+
+
+class TestP4RuntimeStackRetry:
+    def test_lost_request_abandoned_terminally(self):
+        sim, net, stack = p4runtime_deployment(request_timeout_s=0.01,
+                                               max_request_attempts=3)
+        drop_requests(net)
+        outcomes = []
+        stack.write_register("s1", "target", 0, 0x42,
+                             lambda ok, v: outcomes.append((ok, v)))
+        sim.run(until=2.0)
+        assert outcomes == [(False, 0)]
+        assert stack.request_retries == 2
+        assert stack.requests_abandoned == 1
+
+    def test_retry_recovers_from_a_single_loss(self):
+        sim, net, stack = p4runtime_deployment(request_timeout_s=0.01)
+        drop_requests(net, count=1)
+        outcomes = []
+        stack.read_register("s1", "target", 0,
+                            lambda ok, v: outcomes.append((ok, v)))
+        sim.run(until=2.0)
+        assert outcomes == [(True, 0)]
+        assert stack.request_retries == 1
+        assert stack.requests_abandoned == 0
+
+    def test_response_leg_loss_also_retried(self):
+        sim, net, stack = p4runtime_deployment(request_timeout_s=0.01)
+        state = {"eaten": 0}
+
+        def tap(packet, direction):
+            if direction == "dp->c" and state["eaten"] < 1:
+                state["eaten"] += 1
+                return None
+            return packet
+
+        net.control_channels["s1"].add_tap(tap)
+        outcomes = []
+        stack.write_register("s1", "target", 5, 0x99,
+                             lambda ok, v: outcomes.append((ok, v)))
+        sim.run(until=2.0)
+        assert outcomes == [(True, 0x99)]
+        assert stack.request_retries == 1
+
+    def test_legacy_default_stays_silent(self):
+        sim, net, stack = p4runtime_deployment()
+        drop_requests(net)
+        outcomes = []
+        stack.write_register("s1", "target", 0, 0x42,
+                             lambda ok, v: outcomes.append(ok))
+        sim.run(until=2.0)
+        assert outcomes == []
+        assert stack.requests_abandoned == 0
