@@ -7,22 +7,27 @@ sibling, silent result corruption when the fabric is trusted.
 """
 
 from repro.analysis import format_table
-from repro.experiments.attack2_aggregation import MODES, run_all
+from repro.engine import run_experiment
+from repro.experiments.attack2_aggregation import MODES
+
+
+def run_all_modes():
+    run = run_experiment("aggregation")
+    return {trial.params["mode"]: trial.result for trial in run.trials}
 
 
 def test_attack2_aggregation(benchmark, report):
-    results = benchmark.pedantic(run_all, kwargs={"chunks": 30},
-                                 rounds=1, iterations=1)
+    results = benchmark.pedantic(run_all_modes, rounds=1, iterations=1)
     rows = []
     for mode in MODES:
         result = results[mode]
         rows.append([
             mode,
-            f"{result.correct_chunks}/{result.chunks}",
-            f"{result.jct_rounds:.2f}",
-            result.tampered,
-            result.dropped_at_switch,
-            result.alerts,
+            f"{result['correct_chunks']}/{result['chunks']}",
+            f"{result['jct_rounds']:.2f}",
+            result["tampered"],
+            result["dropped_at_switch"],
+            result["alerts"],
         ])
     report(format_table(
         ["mode", "correct aggregates", "JCT (rounds/chunk)",
@@ -30,12 +35,12 @@ def test_attack2_aggregation(benchmark, report):
         rows, title="Attack 2: in-network aggregation under a MitM"))
 
     baseline, attack, p4auth = (results[m] for m in MODES)
-    assert baseline.correct_chunks == baseline.chunks
+    assert baseline["correct_chunks"] == baseline["chunks"]
     # The attack silently corrupts a large fraction at no JCT cost.
-    assert attack.correct_chunks < attack.chunks * 0.75
-    assert attack.jct_rounds == 1.0
-    assert attack.alerts == 0
+    assert attack["correct_chunks"] < attack["chunks"] * 0.75
+    assert attack["jct_rounds"] == 1.0
+    assert attack["alerts"] == 0
     # P4Auth: everything correct, bounded JCT inflation, loud detection.
-    assert p4auth.correct_chunks == p4auth.chunks
-    assert 1.0 < p4auth.jct_rounds < 4.0
-    assert p4auth.alerts > 0
+    assert p4auth["correct_chunks"] == p4auth["chunks"]
+    assert 1.0 < p4auth["jct_rounds"] < 4.0
+    assert p4auth["alerts"] > 0

@@ -7,21 +7,26 @@ of magnitude; P4Auth keeps latency at the baseline.
 """
 
 from repro.analysis import format_table
-from repro.experiments.fct_inflation import MODES, run_all
+from repro.engine import run_experiment
+from repro.experiments.fct_inflation import MODES
+
+
+def run_all_modes():
+    run = run_experiment("fct", sweep={"duration_s": [2.5]})
+    return {trial.params["mode"]: trial.result for trial in run.trials}
 
 
 def test_fct_inflation(benchmark, report):
-    results = benchmark.pedantic(run_all, kwargs={"duration_s": 2.5},
-                                 rounds=1, iterations=1)
+    results = benchmark.pedantic(run_all_modes, rounds=1, iterations=1)
     rows = []
     for mode in MODES:
         result = results[mode]
         rows.append([
             mode,
-            f"{result.mean_latency_s * 1e3:.2f}",
-            f"{result.p95_latency_s * 1e3:.2f}",
-            f"{result.share_via_s4 * 100:.0f}%",
-            result.alerts,
+            f"{result['mean_latency_s'] * 1e3:.2f}",
+            f"{result['p95_latency_s'] * 1e3:.2f}",
+            f"{result['share_via_s4'] * 100:.0f}%",
+            result["alerts"],
         ])
     report(format_table(
         ["mode", "mean latency (ms)", "p95 latency (ms)",
@@ -31,8 +36,8 @@ def test_fct_inflation(benchmark, report):
     baseline, attack, p4auth = (results[m] for m in MODES)
     # The attack inflates delivery latency by at least an order of
     # magnitude; P4Auth restores the baseline.
-    assert attack.mean_latency_s > 10 * baseline.mean_latency_s
-    assert p4auth.mean_latency_s < 1.5 * baseline.mean_latency_s
-    assert attack.share_via_s4 > 0.9
-    assert p4auth.share_via_s4 < 0.05
-    assert p4auth.alerts > 0
+    assert attack["mean_latency_s"] > 10 * baseline["mean_latency_s"]
+    assert p4auth["mean_latency_s"] < 1.5 * baseline["mean_latency_s"]
+    assert attack["share_via_s4"] > 0.9
+    assert p4auth["share_via_s4"] < 0.05
+    assert p4auth["alerts"] > 0

@@ -6,12 +6,14 @@ original split is retained and alerts are raised.
 """
 
 from repro.analysis import format_table
-from repro.experiments.fig16_routescout import MODES, run_routescout
+from repro.engine import run_experiment
+from repro.experiments.fig16_routescout import MODES
 
 
 def run_all():
-    return {mode: run_routescout(mode, duration_s=30.0, attack_start_s=8.0)
-            for mode in MODES}
+    run = run_experiment("fig16", sweep={"duration_s": [30.0],
+                                         "attack_start_s": [8.0]})
+    return {trial.params["mode"]: trial.result for trial in run.trials}
 
 
 def test_fig16_routescout_defense(benchmark, report):
@@ -26,10 +28,10 @@ def test_fig16_routescout_defense(benchmark, report):
         result = results[mode]
         rows.append([
             mode,
-            f"{result.share_path1 * 100:.1f}%",
-            f"{result.share_path2 * 100:.1f}%",
-            result.epochs_skipped,
-            result.tamper_events,
+            f"{result['share_path1'] * 100:.1f}%",
+            f"{result['share_path2'] * 100:.1f}%",
+            result["epochs_skipped"],
+            result["tamper_events"],
             paper[mode],
         ])
     report(format_table(
@@ -38,7 +40,7 @@ def test_fig16_routescout_defense(benchmark, report):
         rows, title="Fig 16: RouteScout traffic distribution"))
 
     baseline, attack, p4auth = (results[m] for m in MODES)
-    assert baseline.share_path1 > 0.55
-    assert attack.share_path2 > 0.6
-    assert abs(p4auth.share_path1 - baseline.share_path1) < 0.05
-    assert p4auth.tamper_events > 0
+    assert baseline["share_path1"] > 0.55
+    assert attack["share_path2"] > 0.6
+    assert abs(p4auth["share_path1"] - baseline["share_path1"]) < 0.05
+    assert p4auth["tamper_events"] > 0

@@ -6,11 +6,13 @@ P4Auth (tampered probes dropped, alerts raised).
 """
 
 from repro.analysis import format_table
-from repro.experiments.fig17_hula import MODES, run_hula
+from repro.engine import run_experiment
+from repro.experiments.fig17_hula import MODES
 
 
 def run_all():
-    return {mode: run_hula(mode, duration_s=5.0) for mode in MODES}
+    run = run_experiment("fig17", sweep={"duration_s": [5.0]})
+    return {trial.params["mode"]: trial.result for trial in run.trials}
 
 
 def test_fig17_hula_defense(benchmark, report):
@@ -25,11 +27,11 @@ def test_fig17_hula_defense(benchmark, report):
         result = results[mode]
         rows.append([
             mode,
-            f"{result.shares['s2'] * 100:.1f}%",
-            f"{result.shares['s3'] * 100:.1f}%",
-            f"{result.shares['s4'] * 100:.1f}%",
-            result.probes_tampered,
-            result.alerts,
+            f"{result['shares']['s2'] * 100:.1f}%",
+            f"{result['shares']['s3'] * 100:.1f}%",
+            f"{result['shares']['s4'] * 100:.1f}%",
+            result["probes_tampered"],
+            result["alerts"],
             paper[mode],
         ])
     report(format_table(
@@ -38,7 +40,7 @@ def test_fig17_hula_defense(benchmark, report):
         rows, title="Fig 17: HULA traffic distribution (after warmup)"))
 
     baseline, attack, p4auth = (results[m] for m in MODES)
-    assert all(0.2 < share < 0.5 for share in baseline.shares.values())
-    assert attack.shares["s4"] > 0.7
-    assert p4auth.shares["s4"] < 0.05
-    assert p4auth.alerts > 0
+    assert all(0.2 < share < 0.5 for share in baseline["shares"].values())
+    assert attack["shares"]["s4"] > 0.7
+    assert p4auth["shares"]["s4"] < 0.05
+    assert p4auth["alerts"] > 0

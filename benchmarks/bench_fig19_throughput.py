@@ -6,28 +6,35 @@ read / 2.1% write throughput versus DP-Reg-RW.
 """
 
 from repro.analysis import format_table
-from repro.runtime.comparison import STACKS, measure
+from repro.engine import run_experiment
+from repro.runtime.comparison import STACKS
+
+
+def run_matrix():
+    run = run_experiment("fig19")
+    return {(t.params["stack"], t.params["kind"]): t.result
+            for t in run.trials}
 
 
 def test_fig19_throughput(benchmark, report):
-    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
     rows = []
     for name in STACKS:
         rows.append([
             name,
-            f"{table[(name, 'read')].throughput_rps:.0f}",
-            f"{table[(name, 'write')].throughput_rps:.0f}",
+            f"{table[(name, 'read')]['throughput_rps']:.0f}",
+            f"{table[(name, 'write')]['throughput_rps']:.0f}",
         ])
     report(format_table(
         ["stack", "read (req/s)", "write (req/s)"],
         rows, title="Fig 19: register read/write throughput"))
 
-    p4rt_ratio = (table[("P4Runtime", "read")].throughput_rps
-                  / table[("P4Runtime", "write")].throughput_rps)
-    read_drop = 1 - (table[("P4Auth", "read")].throughput_rps
-                     / table[("DP-Reg-RW", "read")].throughput_rps)
-    write_drop = 1 - (table[("P4Auth", "write")].throughput_rps
-                      / table[("DP-Reg-RW", "write")].throughput_rps)
+    p4rt_ratio = (table[("P4Runtime", "read")]["throughput_rps"]
+                  / table[("P4Runtime", "write")]["throughput_rps"])
+    read_drop = 1 - (table[("P4Auth", "read")]["throughput_rps"]
+                     / table[("DP-Reg-RW", "read")]["throughput_rps"])
+    write_drop = 1 - (table[("P4Auth", "write")]["throughput_rps"]
+                      / table[("DP-Reg-RW", "write")]["throughput_rps"])
     report(f"P4Runtime read/write ratio: {p4rt_ratio:.2f} (paper: 1.7)\n"
            f"P4Auth read throughput drop: {read_drop * 100:.1f}% "
            f"(paper: 4.2%)\n"
@@ -38,5 +45,5 @@ def test_fig19_throughput(benchmark, report):
     assert 0.02 < read_drop < 0.07
     assert 0.01 < write_drop < 0.05
     # Writes similar across stacks (paper: "not much difference").
-    writes = [table[(name, "write")].throughput_rps for name in STACKS]
+    writes = [table[(name, "write")]["throughput_rps"] for name in STACKS]
     assert max(writes) / min(writes) < 1.1

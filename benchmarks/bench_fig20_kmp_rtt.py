@@ -6,7 +6,8 @@ port-key update beats local-key update despite exchanging more messages.
 """
 
 from repro.analysis import format_table
-from repro.experiments.fig20_kmp import OPS, run_kmp_rtt
+from repro.engine import run_experiment
+from repro.experiments.fig20_kmp import OPS
 
 PAPER_NOTES = {
     "local_init": "1-2 ms (EAK + ADHKD)",
@@ -16,15 +17,19 @@ PAPER_NOTES = {
 }
 
 
+def run_rtts():
+    return run_experiment("fig20").only()
+
+
 def test_fig20_kmp_rtt(benchmark, report):
-    result = benchmark.pedantic(run_kmp_rtt, kwargs={"repeats": 20},
-                                rounds=1, iterations=1)
+    result = benchmark.pedantic(run_rtts, rounds=1, iterations=1)
+    mean_ms = result["mean_ms"]
     rows = []
     for op in OPS:
-        messages, size = result.footprint[op]
+        messages, size = result["footprint"][op]
         rows.append([
             op,
-            f"{result.mean_ms(op):.3f}",
+            f"{mean_ms[op]:.3f}",
             messages,
             size,
             PAPER_NOTES[op],
@@ -33,7 +38,7 @@ def test_fig20_kmp_rtt(benchmark, report):
         ["operation", "RTT (ms)", "messages", "bytes", "paper"],
         rows, title="Fig 20: key management RTT (+ Table III footprints)"))
 
-    assert 1.0 <= result.mean_ms("local_init") <= 2.0
-    assert result.mean_ms("port_init") > result.mean_ms("local_init")
-    assert result.mean_ms("local_update") < 1.0
-    assert result.mean_ms("port_update") < result.mean_ms("local_update")
+    assert 1.0 <= mean_ms["local_init"] <= 2.0
+    assert mean_ms["port_init"] > mean_ms["local_init"]
+    assert mean_ms["local_update"] < 1.0
+    assert mean_ms["port_update"] < mean_ms["local_update"]

@@ -5,12 +5,17 @@ hops and 5.9% at 10 hops, growing roughly linearly in between.
 """
 
 from repro.analysis import format_table
-from repro.experiments.fig21_multihop import overhead_curve
+from repro.engine import run_experiment
+from repro.experiments.fig21_multihop import curve_from_trials
+
+
+def run_curve():
+    run = run_experiment("fig21", sweep={"num_probes": [30]})
+    return curve_from_trials(run.results())
 
 
 def test_fig21_multihop_overhead(benchmark, report):
-    rows_data = benchmark.pedantic(
-        overhead_curve, kwargs={"num_probes": 30}, rounds=1, iterations=1)
+    rows_data = benchmark.pedantic(run_curve, rounds=1, iterations=1)
     paper = {2: "0.95%", 10: "5.9%"}
     rows = []
     for row in rows_data:

@@ -6,23 +6,28 @@ false; with P4Auth the tampered probes are dropped loudly.
 """
 
 from repro.analysis import format_table
-from repro.experiments.int_manipulation import MODES, run_all
+from repro.engine import run_experiment
+from repro.experiments.int_manipulation import MODES
+
+
+def run_all_modes():
+    run = run_experiment("int")
+    return {trial.params["mode"]: trial.result for trial in run.trials}
 
 
 def test_int_manipulation(benchmark, report):
-    results = benchmark.pedantic(run_all, kwargs={"num_probes": 40},
-                                 rounds=1, iterations=1)
+    results = benchmark.pedantic(run_all_modes, rounds=1, iterations=1)
     rows = []
     for mode in MODES:
         result = results[mode]
         rows.append([
             mode,
-            f"{result.probes_collected}/{result.probes_sent}",
-            result.reported_max_hop_latency_us,
-            result.true_max_hop_latency_us,
-            "yes" if result.congestion_visible else "no",
-            "yes" if result.detected else "NO (silent)",
-            result.alerts,
+            f"{result['probes_collected']}/{result['probes_sent']}",
+            result["reported_max_hop_latency_us"],
+            result["true_max_hop_latency_us"],
+            "yes" if result["congestion_visible"] else "no",
+            "yes" if result["detected"] else "NO (silent)",
+            result["alerts"],
         ])
     report(format_table(
         ["mode", "probes collected", "reported max hop (us)",
@@ -30,7 +35,7 @@ def test_int_manipulation(benchmark, report):
          "alerts"],
         rows, title="INT manipulation (secINT scenario)"))
 
-    assert results["baseline"].congestion_visible
-    assert not results["attack"].detected
-    assert results["p4auth"].detected
-    assert results["p4auth"].alerts > 0
+    assert results["baseline"]["congestion_visible"]
+    assert not results["attack"]["detected"]
+    assert results["p4auth"]["detected"]
+    assert results["p4auth"]["alerts"] > 0

@@ -7,7 +7,7 @@ inflates hot-key retrieval time (NetCache), poisons loss analysis
 """
 
 from repro.analysis import format_table
-from repro.experiments.table1_impact import run_table1
+from repro.engine import run_experiment
 
 PAPER_IMPACT = {
     "blink": "poisoning of fast rerouting decision",
@@ -18,21 +18,30 @@ PAPER_IMPACT = {
 }
 
 
+def run_matrix():
+    run = run_experiment("table1")
+    matrix = {}
+    for trial in run.trials:
+        matrix.setdefault(trial.params["system"], {})[
+            trial.params["mode"]] = trial.result
+    return matrix
+
+
 def test_table1_attack_impact(benchmark, report):
-    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    matrix = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
     rows = []
-    for system, by_mode in result.matrix.items():
+    for system, by_mode in matrix.items():
         baseline = by_mode["baseline"]
         attack = by_mode["attack"]
         p4auth = by_mode["p4auth"]
         rows.append([
             system,
-            baseline.impact_metric,
-            f"{baseline.impact_value:.2f}",
-            f"{attack.impact_value:.2f}",
-            f"{p4auth.impact_value:.2f}",
-            "yes" if attack.state_poisoned else "no",
-            "yes" if p4auth.detected else "no",
+            baseline["impact_metric"],
+            f"{baseline['impact_value']:.2f}",
+            f"{attack['impact_value']:.2f}",
+            f"{p4auth['impact_value']:.2f}",
+            "yes" if attack["state_poisoned"] else "no",
+            "yes" if p4auth["detected"] else "no",
             PAPER_IMPACT[system],
         ])
     report(format_table(
@@ -40,7 +49,7 @@ def test_table1_attack_impact(benchmark, report):
          "silently poisoned", "P4Auth detected", "paper impact"],
         rows, title="Table I: impact of altering C-DP update/report messages"))
 
-    for system, by_mode in result.matrix.items():
-        assert by_mode["p4auth"].detected, system
-        assert not by_mode["p4auth"].state_poisoned, system
-        assert not by_mode["baseline"].state_poisoned, system
+    for system, by_mode in matrix.items():
+        assert by_mode["p4auth"]["detected"], system
+        assert not by_mode["p4auth"]["state_poisoned"], system
+        assert not by_mode["baseline"]["state_poisoned"], system

@@ -8,42 +8,43 @@ With P4Auth  8.3%   3.6%   51.4%        23.1%
 """
 
 from repro.analysis import format_table
-from repro.core.program import baseline_program_spec, p4auth_program_spec
-from repro.dataplane.resources import ResourceModel
+from repro.engine import run_experiment
+from repro.experiments.table2_resources import PROGRAM_LABELS, PROGRAMS
 
 PAPER = {
-    "Baseline": (8.3, 2.5, 1.4, 11.0),
-    "With P4Auth": (8.3, 3.6, 51.4, 23.1),
+    "baseline": (8.3, 2.5, 1.4, 11.0),
+    "p4auth": (8.3, 3.6, 51.4, 23.1),
 }
 
 
 def compile_both():
-    model = ResourceModel()
-    return {
-        "Baseline": model.report(baseline_program_spec()),
-        "With P4Auth": model.report(p4auth_program_spec()),
-    }
+    run = run_experiment("table2")
+    return {program: run.result_for(program=program)
+            for program in PROGRAMS}
 
 
 def test_table2_resource_overhead(benchmark, report):
     reports = benchmark.pedantic(compile_both, rounds=1, iterations=1)
     rows = []
-    for name, resource_report in reports.items():
-        paper = PAPER[name]
+    for program in PROGRAMS:
+        result = reports[program]
+        paper = PAPER[program]
         rows.append([
-            name,
-            f"{resource_report.tcam_pct}% (paper {paper[0]}%)",
-            f"{resource_report.sram_pct}% (paper {paper[1]}%)",
-            f"{resource_report.hash_pct}% (paper {paper[2]}%)",
-            f"{resource_report.phv_pct}% (paper {paper[3]}%)",
+            PROGRAM_LABELS[program],
+            f"{result['tcam_pct']}% (paper {paper[0]}%)",
+            f"{result['sram_pct']}% (paper {paper[1]}%)",
+            f"{result['hash_pct']}% (paper {paper[2]}%)",
+            f"{result['phv_pct']}% (paper {paper[3]}%)",
         ])
     report(format_table(
         ["program", "TCAM", "SRAM", "Hash Units", "PHV"],
         rows, title="Table II: hardware resource overhead"))
 
-    baseline = reports["Baseline"]
-    p4auth = reports["With P4Auth"]
-    assert baseline.as_row() == {"TCAM": 8.3, "SRAM": 2.5,
-                                 "Hash Units": 1.4, "PHV": 11.1}
-    assert p4auth.as_row() == {"TCAM": 8.3, "SRAM": 3.6,
-                               "Hash Units": 51.4, "PHV": 23.1}
+    baseline = reports["baseline"]
+    p4auth = reports["p4auth"]
+    assert (baseline["tcam_pct"], baseline["sram_pct"],
+            baseline["hash_pct"], baseline["phv_pct"]) == (8.3, 2.5, 1.4,
+                                                           11.1)
+    assert (p4auth["tcam_pct"], p4auth["sram_pct"],
+            p4auth["hash_pct"], p4auth["phv_pct"]) == (8.3, 3.6, 51.4,
+                                                       23.1)

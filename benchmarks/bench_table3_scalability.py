@@ -8,43 +8,47 @@ confirms 200; see DESIGN.md.)
 """
 
 from repro.analysis import format_table
-from repro.experiments.table3_scalability import run_table3
+from repro.engine import run_experiment
+
+
+def run_scalability():
+    return run_experiment("table3").only()
 
 
 def test_table3_scalability(benchmark, report):
-    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_scalability, rounds=1, iterations=1)
     rows = [
         ["key initialization",
-         f"{result.init_messages}",
-         f"{result.formula_init_messages} (paper: 350)",
-         f"{result.init_bytes / 1000:.1f} KB",
-         f"{result.formula_init_bytes / 1000:.1f} KB (paper: 9.5 KB)"],
+         f"{result['init_messages']}",
+         f"{result['formula_init_messages']} (paper: 350)",
+         f"{result['init_bytes'] / 1000:.1f} KB",
+         f"{result['formula_init_bytes'] / 1000:.1f} KB (paper: 9.5 KB)"],
         ["key update",
-         f"{result.update_messages}",
-         f"{result.formula_update_messages} (paper: 125*, see note)",
-         f"{result.update_bytes / 1000:.1f} KB",
-         f"{result.formula_update_bytes / 1000:.1f} KB (paper: 5.4 KB)"],
+         f"{result['update_messages']}",
+         f"{result['formula_update_messages']} (paper: 125*, see note)",
+         f"{result['update_bytes'] / 1000:.1f} KB",
+         f"{result['formula_update_bytes'] / 1000:.1f} KB (paper: 5.4 KB)"],
     ]
     report(format_table(
         ["operation", "measured msgs", "formula msgs",
          "measured bytes", "formula bytes"],
         rows,
-        title=(f"Table III: controller load at m={result.m_switches}, "
-               f"n={result.n_links} (live network)")))
+        title=(f"Table III: controller load at m={result['m_switches']}, "
+               f"n={result['n_links']} (live network)")))
     report("* Table III prints 125 update messages, but its own formula "
            "2m+3n = 200 at m=25, n=50;\n  the byte figure (5.4 KB) does "
            "follow from 60m+78n.  Our live count matches the formula.")
     report(f"SXI parallelism: serial init lower bound "
-           f"{result.serial_init_time_s * 1e3:.0f} ms (paper estimates "
+           f"{result['serial_init_time_s'] * 1e3:.0f} ms (paper estimates "
            f"~150 ms at 2 ms/key);\nthe live parallel bootstrap finished "
-           f"in {result.parallel_init_time_s * 1e3:.1f} ms.")
+           f"in {result['parallel_init_time_s'] * 1e3:.1f} ms.")
 
     # The paper's serial estimate (~150 ms) vs the parallel reality.
-    assert 0.1 < result.serial_init_time_s < 0.2
-    assert result.parallel_init_time_s < result.serial_init_time_s / 10
+    assert 0.1 < result["serial_init_time_s"] < 0.2
+    assert result["parallel_init_time_s"] < result["serial_init_time_s"] / 10
 
-    assert result.n_links == 50
-    assert result.init_messages == 350
-    assert result.init_bytes == 9500
-    assert result.update_messages == 200
-    assert result.update_bytes == 5400
+    assert result["n_links"] == 50
+    assert result["init_messages"] == 350
+    assert result["init_bytes"] == 9500
+    assert result["update_messages"] == 200
+    assert result["update_bytes"] == 5400

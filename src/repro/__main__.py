@@ -1,17 +1,20 @@
-"""Command-line experiment runner: ``python -m repro <experiment>``.
+"""Command-line experiment runner: ``python -m repro``.
 
-Each subcommand runs one paper experiment and prints its table — the
-same drivers the benchmark suite uses, without pytest in the way.
+Every paper figure, table, and chaos scenario is a registered
+:class:`~repro.engine.spec.ExperimentSpec`; the generic ``run``
+subcommand executes any of them (with sweeps, worker sharding, caching,
+and ``BENCH_<name>.json`` artifacts), while the named legacy
+subcommands print the familiar paper-style tables on top of the same
+engine.
 
-    python -m repro fig16            # RouteScout defense
-    python -m repro fig17            # HULA defense
-    python -m repro fig20            # KMP RTTs
-    python -m repro fig21            # multihop probe overhead
-    python -m repro table1           # attack-impact matrix
-    python -m repro table2           # resource overhead
-    python -m repro table3           # KMP scalability (live 25-switch net)
-    python -m repro aggregation      # Attack 2 on in-network aggregation
-    python -m repro all              # everything
+    python -m repro                  # list every registered experiment
+    python -m repro run fig17 --workers 4
+    python -m repro run fig21 --sweep hops=2,6,10 --short
+    python -m repro run table3 --seed 99 --out-dir results/
+    python -m repro report --dir results/   # markdown from BENCH_*.json
+    python -m repro fig16            # RouteScout defense (paper table)
+    python -m repro table2           # resource overhead (paper table)
+    python -m repro all              # every paper table
     python -m repro telemetry fig17  # instrumented run: JSONL trace +
                                      # Prometheus-style metrics dump
     python -m repro chaos            # fault-injection scenarios (all)
@@ -27,97 +30,118 @@ from repro.analysis import format_table
 
 
 def cmd_fig16(args) -> None:
-    from repro.experiments.fig16_routescout import MODES, run_routescout
-    rows = []
-    for mode in MODES:
-        result = run_routescout(mode, duration_s=args.duration,
-                                attack_start_s=args.duration * 0.25)
-        rows.append([mode, f"{result.share_path1 * 100:.1f}%",
-                     f"{result.share_path2 * 100:.1f}%",
-                     result.epochs_skipped, result.tamper_events])
+    from repro.engine import run_experiment
+    run = run_experiment("fig16", sweep={
+        "duration_s": [args.duration],
+        "attack_start_s": [args.duration * 0.25]})
+    rows = [[t.params["mode"], f"{t.result['share_path1'] * 100:.1f}%",
+             f"{t.result['share_path2'] * 100:.1f}%",
+             t.result["epochs_skipped"], t.result["tamper_events"]]
+            for t in run.trials]
     print(format_table(
         ["mode", "path1", "path2", "epochs skipped", "tamper events"],
         rows, title="Fig 16: RouteScout traffic distribution"))
 
 
 def cmd_fig17(args) -> None:
-    from repro.experiments.fig17_hula import MODES, run_hula
-    rows = []
-    for mode in MODES:
-        result = run_hula(mode, duration_s=min(args.duration, 10.0))
-        rows.append([mode,
-                     f"{result.shares['s2'] * 100:.1f}%",
-                     f"{result.shares['s3'] * 100:.1f}%",
-                     f"{result.shares['s4'] * 100:.1f}%",
-                     result.alerts])
+    from repro.engine import run_experiment
+    run = run_experiment("fig17", sweep={
+        "duration_s": [min(args.duration, 10.0)]})
+    rows = [[t.params["mode"],
+             f"{t.result['shares']['s2'] * 100:.1f}%",
+             f"{t.result['shares']['s3'] * 100:.1f}%",
+             f"{t.result['shares']['s4'] * 100:.1f}%",
+             t.result["alerts"]]
+            for t in run.trials]
     print(format_table(["mode", "via S2", "via S3", "via S4", "alerts"],
                        rows, title="Fig 17: HULA traffic distribution"))
 
 
 def cmd_fig20(args) -> None:
-    from repro.experiments.fig20_kmp import OPS, run_kmp_rtt
-    result = run_kmp_rtt(repeats=20)
-    rows = [[op, f"{result.mean_ms(op):.3f}",
-             result.footprint[op][0], result.footprint[op][1]]
+    from repro.engine import run_experiment
+    from repro.experiments.fig20_kmp import OPS
+    result = run_experiment("fig20").only()
+    rows = [[op, f"{result['mean_ms'][op]:.3f}",
+             result["footprint"][op][0], result["footprint"][op][1]]
             for op in OPS]
     print(format_table(["operation", "RTT (ms)", "messages", "bytes"],
                        rows, title="Fig 20: key management RTT"))
 
 
 def cmd_fig21(args) -> None:
-    from repro.experiments.fig21_multihop import overhead_curve
+    from repro.engine import run_experiment
+    from repro.experiments.fig21_multihop import curve_from_trials
+    run = run_experiment("fig21", sweep={"num_probes": [30]})
     rows = [[r["hops"], f"{r['base_us']:.1f}", f"{r['p4auth_us']:.1f}",
              f"{r['overhead_pct']:.2f}%"]
-            for r in overhead_curve(num_probes=30)]
+            for r in curve_from_trials(run.results())]
     print(format_table(["hops", "base (us)", "P4Auth (us)", "overhead"],
                        rows, title="Fig 21: probe traversal vs hops"))
 
 
 def cmd_table1(args) -> None:
-    from repro.experiments.table1_impact import run_table1
-    result = run_table1()
+    from repro.engine import run_experiment
+    run = run_experiment("table1")
+    matrix = {}
+    for trial in run.trials:
+        matrix.setdefault(trial.params["system"], {})[
+            trial.params["mode"]] = trial.result
+    rows = []
+    for system in sorted(matrix):
+        baseline, attack, p4auth = (matrix[system][mode] for mode in
+                                    ("baseline", "attack", "p4auth"))
+        rows.append([
+            system,
+            baseline["impact_metric"],
+            f"{baseline['impact_value']:.3f}",
+            f"{attack['impact_value']:.3f}",
+            f"{p4auth['impact_value']:.3f}",
+            "yes" if attack["state_poisoned"] else "no",
+            "yes" if p4auth["detected"] else "no",
+        ])
     print(format_table(
         ["system", "metric", "baseline", "attack", "attack+P4Auth",
          "poisoned", "detected"],
-        result.rows(), title="Table I: attack impact"))
+        rows, title="Table I: attack impact"))
 
 
 def cmd_table2(args) -> None:
-    from repro.core.program import baseline_program_spec, p4auth_program_spec
-    from repro.dataplane.resources import ResourceModel
-    model = ResourceModel()
+    from repro.engine import run_experiment
+    from repro.experiments.table2_resources import PROGRAM_LABELS, PROGRAMS
+    run = run_experiment("table2")
     rows = []
-    for name, spec in (("Baseline", baseline_program_spec()),
-                       ("With P4Auth", p4auth_program_spec())):
-        report = model.report(spec)
-        rows.append([name, f"{report.tcam_pct}%", f"{report.sram_pct}%",
-                     f"{report.hash_pct}%", f"{report.phv_pct}%"])
+    for program in PROGRAMS:
+        report = run.result_for(program=program)
+        rows.append([PROGRAM_LABELS[program], f"{report['tcam_pct']}%",
+                     f"{report['sram_pct']}%", f"{report['hash_pct']}%",
+                     f"{report['phv_pct']}%"])
     print(format_table(["program", "TCAM", "SRAM", "Hash Units", "PHV"],
                        rows, title="Table II: resource overhead"))
 
 
 def cmd_table3(args) -> None:
-    from repro.experiments.table3_scalability import run_table3
-    result = run_table3()
+    from repro.engine import run_experiment
+    result = run_experiment("table3").only()
     rows = [
-        ["init", result.init_messages, result.formula_init_messages,
-         result.init_bytes, result.formula_init_bytes],
-        ["update", result.update_messages, result.formula_update_messages,
-         result.update_bytes, result.formula_update_bytes],
+        ["init", result["init_messages"], result["formula_init_messages"],
+         result["init_bytes"], result["formula_init_bytes"]],
+        ["update", result["update_messages"],
+         result["formula_update_messages"],
+         result["update_bytes"], result["formula_update_bytes"]],
     ]
     print(format_table(
         ["op", "measured msgs", "formula msgs", "measured B", "formula B"],
-        rows, title=f"Table III (live m={result.m_switches}, "
-                    f"n={result.n_links})"))
+        rows, title=f"Table III (live m={result['m_switches']}, "
+                    f"n={result['n_links']})"))
 
 
 def cmd_aggregation(args) -> None:
-    from repro.experiments.attack2_aggregation import MODES, run_aggregation
-    rows = []
-    for mode in MODES:
-        result = run_aggregation(mode, chunks=30)
-        rows.append([mode, f"{result.correct_chunks}/{result.chunks}",
-                     f"{result.jct_rounds:.2f}", result.alerts])
+    from repro.engine import run_experiment
+    run = run_experiment("aggregation")
+    rows = [[t.params["mode"],
+             f"{t.result['correct_chunks']}/{t.result['chunks']}",
+             f"{t.result['jct_rounds']:.2f}", t.result["alerts"]]
+            for t in run.trials]
     print(format_table(
         ["mode", "correct aggregates", "JCT (rounds)", "alerts"],
         rows, title="Attack 2: in-network aggregation"))
@@ -222,8 +246,140 @@ COMMANDS = {
     "telemetry": cmd_telemetry,
 }
 
+#: Paper tables printed by ``python -m repro all``, in dependency-free
+#: cheap-first order.
+ALL_ORDER = ("table2", "fig20", "fig21", "table3", "fig16", "fig17",
+             "table1", "aggregation")
+
+
+def print_experiment_listing(stream=None) -> None:
+    """The registry, as a table: what ``repro run <name>`` accepts."""
+    from repro.engine import all_specs
+    stream = stream or sys.stdout
+    rows = []
+    for spec in sorted(all_specs(), key=lambda s: s.name):
+        rows.append([spec.name, spec.source, len(spec.expand()),
+                     ",".join(spec.tags), spec.title])
+    table = format_table(["name", "source", "trials", "tags", "title"],
+                         rows, title="Registered experiments")
+    print(table, file=stream)
+    print("\nUsage: python -m repro run <name> [--sweep k=v1,v2] "
+          "[--workers N] [--seed N] [--short]\n"
+          "       python -m repro {list,report," + ",".join(sorted(COMMANDS))
+          + ",all}", file=stream)
+
+
+def cmd_run(argv) -> int:
+    """The generic engine front-end: run any registered spec."""
+    from repro.engine import (
+        ResultCache,
+        get_spec,
+        parse_sweep,
+        Runner,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Run one registered experiment through the engine.")
+    parser.add_argument("name", help="registered experiment name "
+                                     "(see `python -m repro list`)")
+    parser.add_argument("--sweep", action="append", default=[],
+                        metavar="PARAM=V1,V2",
+                        help="sweep a parameter over comma-separated "
+                             "values (repeatable)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes to shard trials across "
+                             "(results are identical for any value)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base seed: derive a distinct deterministic "
+                             "seed per trial (default: keep each spec's "
+                             "reference seeds)")
+    parser.add_argument("--short", action="store_true",
+                        help="use the spec's reduced CI-smoke parameters")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse/populate the content-hash result cache")
+    parser.add_argument("--cache-dir", default=".bench_cache",
+                        help="cache directory (with --cache)")
+    parser.add_argument("--out-dir", default=".",
+                        help="where BENCH_<name>.json is written "
+                             "('' to skip the artifact)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="write per-trial telemetry JSONL traces here "
+                             "(specs that support telemetry only)")
+    args = parser.parse_args(argv)
+
+    try:
+        spec = get_spec(args.name)
+    except KeyError:
+        print(f"unknown experiment {args.name!r}\n", file=sys.stderr)
+        print_experiment_listing(sys.stderr)
+        raise SystemExit(2)
+    sweep = parse_sweep(spec, args.sweep) if args.sweep else None
+
+    runner = Runner(
+        workers=args.workers,
+        cache=ResultCache(args.cache_dir) if args.cache else None,
+        out_dir=args.out_dir or None,
+        trace_dir=args.trace_dir)
+    run = runner.run(spec, sweep=sweep, base_seed=args.seed,
+                     short=args.short)
+
+    rows = []
+    for trial in run.trials:
+        scalars = {key: value for key, value in trial.result.items()
+                   if not isinstance(value, (dict, list))}
+        preview = ", ".join(f"{k}={v}" for k, v in sorted(scalars.items()))
+        rows.append([trial.id, trial.seed,
+                     preview if len(preview) <= 72 else preview[:69] + "..."])
+    print(format_table(["trial", "seed", "result"], rows,
+                       title=f"{spec.name}: {spec.title}"))
+    meta = run.run_meta
+    print(f"\n# {meta['trials']} trials, {meta['executed']} executed, "
+          f"{meta['cache_hits']} cached, workers={meta['workers']}, "
+          f"{meta['elapsed_s']:.2f}s")
+    if run.artifact_path:
+        print(f"# wrote {run.artifact_path}")
+    return 0
+
+
+def cmd_report(argv) -> int:
+    """Render a markdown report from emitted ``BENCH_*.json`` artifacts."""
+    from repro.analysis.report import render_artifact_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Summarize BENCH_*.json artifacts as markdown.")
+    parser.add_argument("--dir", default=".",
+                        help="directory holding BENCH_*.json files")
+    parser.add_argument("--out", default=None,
+                        help="write the report here instead of stdout")
+    args = parser.parse_args(argv)
+
+    text = render_artifact_report(args.dir)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"# wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("list", "-h", "--help"):
+        print_experiment_listing()
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "run":
+        return cmd_run(rest)
+    if command == "report":
+        return cmd_report(rest)
+    if command not in COMMANDS and command != "all":
+        print(f"unknown command {command!r}\n", file=sys.stderr)
+        print_experiment_listing(sys.stderr)
+        raise SystemExit(2)
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run P4Auth reproduction experiments.")
@@ -246,8 +402,7 @@ def main(argv=None) -> int:
                              "output path")
     args = parser.parse_args(argv)
     if args.experiment == "all":
-        for name in ("table2", "fig20", "fig21", "table3", "fig16",
-                     "fig17", "table1", "aggregation"):
+        for name in ALL_ORDER:
             COMMANDS[name](args)
             print()
     else:

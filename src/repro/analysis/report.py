@@ -3,11 +3,16 @@
 Used by ``examples/reproduce_paper.py`` (and usable programmatically) to
 produce a single document with every reproduced table and figure next to
 the paper's claims — the artifact a reviewer would want.
+
+:func:`render_artifact_report` is the offline variant: it runs nothing,
+instead summarizing ``BENCH_*.json`` artifacts previously emitted by the
+experiment engine (``python -m repro run <name> --out-dir ...``).
 """
 
 from __future__ import annotations
 
 import io
+import os
 from typing import Callable, Dict, List, Optional
 
 
@@ -39,6 +44,62 @@ class MarkdownReport:
     def save(self, path: str) -> None:
         with open(path, "w") as handle:
             handle.write(self.render())
+
+
+def find_artifacts(directory: str = ".") -> List[str]:
+    """Paths of every engine artifact in ``directory``, sorted by name."""
+    return sorted(
+        os.path.join(directory, name) for name in os.listdir(directory)
+        if name.startswith("BENCH_") and name.endswith(".json"))
+
+
+def render_artifact_report(directory: str = ".") -> str:
+    """Markdown summary of the ``BENCH_*.json`` artifacts in a directory.
+
+    Each artifact becomes one section: provenance line (source, schema,
+    spec version, seeding policy, run metadata) plus a table of every
+    trial's scalar result fields.  Nested lists/dicts are elided — the
+    JSON itself remains the full record.
+    """
+    from repro.engine.artifact import load_artifact, validate_artifact
+
+    report = MarkdownReport("P4Auth reproduction — benchmark artifacts")
+    paths = find_artifacts(directory)
+    if not paths:
+        report.paragraph(
+            f"No `BENCH_*.json` artifacts found in `{directory}`; "
+            "run `python -m repro run <name> --out-dir` first.")
+        return report.render()
+
+    for path in paths:
+        doc = load_artifact(path)
+        validate_artifact(doc)
+        meta = doc.get("run_meta", {})
+        seeding = (f"base seed {doc['base_seed']}"
+                   if doc.get("base_seed") is not None
+                   else "reference seeds")
+        report.section(
+            f"{doc['experiment']} — {doc['title']}",
+            f"Source: {doc['source']} · schema `{doc['schema']}` · "
+            f"spec v{doc['spec_version']} · {seeding} · "
+            f"{len(doc['trials'])} trials · "
+            f"workers={meta.get('workers', 1)} · "
+            f"cache hits {meta.get('cache_hits', 0)} · "
+            f"{meta.get('elapsed_s', 0.0)}s")
+        scalar_keys = sorted({
+            key for trial in doc["trials"]
+            for key, value in trial["result"].items()
+            if isinstance(value, (int, float, str, bool))})
+        rows = []
+        for trial in doc["trials"]:
+            row: List[object] = [f"`{trial['id']}`", trial["seed"]]
+            for key in scalar_keys:
+                value = trial["result"].get(key, "")
+                row.append(f"{value:.4g}" if isinstance(value, float)
+                           else value)
+            rows.append(row)
+        report.table(["trial", "seed"] + scalar_keys, rows)
+    return report.render()
 
 
 def generate_report(fast: bool = True,

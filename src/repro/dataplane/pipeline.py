@@ -15,7 +15,7 @@ only iteration mechanism, and it is explicit and costed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.dataplane.packet import Packet
 
@@ -51,7 +51,10 @@ class Recirculate:
     packet: Packet
 
 
-PipelineAction = object  # Emit | ToController | Drop | Recirculate
+#: Everything a stage can do with a packet.  The network layer
+#: dispatches on the concrete type; keeping the union closed here means
+#: a new verdict class must also teach the dispatcher about itself.
+PipelineAction = Union[Emit, ToController, Drop, Recirculate]
 
 
 class PipelineContext:

@@ -1,0 +1,74 @@
+"""Content-hash result cache for experiment trials.
+
+A trial's cache key (:meth:`~repro.engine.spec.TrialPlan.cache_key`)
+hashes the spec name, its ``spec_version``, and every resolved parameter
+including the seed — so a hit can only ever replay a result that the
+exact same computation would produce.  Entries are one JSON file per
+key under the cache directory; the store is safe for concurrent writers
+(worker shards) because writes go through a per-process temp file and an
+atomic rename.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+from repro.engine.canon import canonical_json
+
+DEFAULT_CACHE_DIR = ".bench_cache"
+
+
+class ResultCache:
+    """Directory-backed map from content hash to canonical result JSON."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Any]:
+        try:
+            with open(self._path(key), "r") as handle:
+                result = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: Any) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(canonical_json(result))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for filename in filenames:
+                if filename.endswith(".json"):
+                    os.unlink(os.path.join(dirpath, filename))
+                    removed += 1
+        return removed
+
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache"]

@@ -25,6 +25,8 @@ from repro.attacks.link import ProbeFieldTamperer
 from repro.core.auth_dataplane import P4AuthConfig, P4AuthDataplane
 from repro.core.controller import P4AuthController
 from repro.crypto.prng import XorShiftPrng
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
 from repro.dataplane.switch import DataplaneSwitch
 from repro.net.network import Network
 from repro.net.simulator import EventSimulator
@@ -173,3 +175,25 @@ def run_aggregation(mode: str, chunks: int = 30, num_workers: int = 4,
 
 def run_all(chunks: int = 30) -> Dict[str, AggregationJobResult]:
     return {mode: run_aggregation(mode, chunks=chunks) for mode in MODES}
+
+
+def _trial(ctx: TrialContext) -> AggregationJobResult:
+    p = ctx.params
+    return run_aggregation(
+        p["mode"], chunks=p["chunks"], num_workers=p["num_workers"],
+        max_retries=p["max_retries"], seed=p["seed"],
+        tamper_probability=p["tamper_probability"])
+
+
+SPEC = register(ExperimentSpec(
+    name="aggregation",
+    title="Attack 2 on in-network aggregation",
+    source="Attack 2 (§II-A)",
+    trial=_trial,
+    grid={"mode": list(MODES)},
+    defaults={"chunks": 30, "num_workers": 4, "max_retries": 6,
+              "seed": 13, "tamper_probability": 0.5},
+    short={"chunks": 8},
+    seed_param="seed",
+    tags=("attack", "aggregation"),
+))

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.attacks.control_plane import RegisterResponseTamperer
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
 from repro.core.auth_dataplane import P4AuthDataplane
 from repro.core.controller import P4AuthController
 from repro.dataplane.switch import DataplaneSwitch
@@ -147,3 +149,27 @@ def run_routescout(mode: str, duration_s: float = 60.0, seed: int = 42,
 
 def run_all(duration_s: float = 60.0, seed: int = 42) -> Dict[str, RouteScoutResult]:
     return {mode: run_routescout(mode, duration_s, seed) for mode in MODES}
+
+
+def _trial(ctx: TrialContext) -> RouteScoutResult:
+    p = ctx.params
+    return run_routescout(
+        p["mode"], duration_s=p["duration_s"], seed=p["seed"],
+        flow_rate_hz=p["flow_rate_hz"], attack_start_s=p["attack_start_s"],
+        max_packets_per_flow=p["max_packets_per_flow"],
+        packet_spacing_s=p["packet_spacing_s"])
+
+
+SPEC = register(ExperimentSpec(
+    name="fig16",
+    title="RouteScout traffic distribution",
+    source="Fig 16",
+    trial=_trial,
+    grid={"mode": list(MODES)},
+    defaults={"duration_s": 60.0, "seed": 42, "flow_rate_hz": 40.0,
+              "attack_start_s": 10.0, "max_packets_per_flow": 60,
+              "packet_spacing_s": 0.002},
+    short={"duration_s": 8.0, "attack_start_s": 2.0},
+    seed_param="seed",
+    tags=("figure", "defense"),
+))

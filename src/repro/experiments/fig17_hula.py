@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.attacks.link import ProbeFieldTamperer
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
 from repro.core.auth_dataplane import P4AuthConfig, P4AuthDataplane
 from repro.core.controller import P4AuthController
 from repro.net.topology import hula_fig3_topology
@@ -136,3 +138,27 @@ def run_hula(mode: str, duration_s: float = 5.0, seed: int = 7,
 
 def run_all(duration_s: float = 5.0) -> Dict[str, HulaResult]:
     return {mode: run_hula(mode, duration_s) for mode in MODES}
+
+
+def _trial(ctx: TrialContext) -> HulaResult:
+    p = ctx.params
+    return run_hula(
+        p["mode"], duration_s=p["duration_s"], seed=p["seed"],
+        probe_period_s=p["probe_period_s"],
+        data_period_s=p["data_period_s"], warmup_s=p["warmup_s"],
+        telemetry=ctx.telemetry)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig17",
+    title="HULA traffic distribution",
+    source="Fig 17",
+    trial=_trial,
+    grid={"mode": list(MODES)},
+    defaults={"duration_s": 5.0, "seed": 7, "probe_period_s": 0.005,
+              "data_period_s": 0.0002, "warmup_s": 0.5},
+    short={"duration_s": 1.5},
+    seed_param="seed",
+    supports_telemetry=True,
+    tags=("figure", "defense"),
+))

@@ -17,6 +17,8 @@ from typing import Dict, List
 from repro.core.auth_dataplane import P4AuthDataplane
 from repro.core.controller import P4AuthController
 from repro.dataplane.switch import DataplaneSwitch
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
 from repro.net.network import Network
 from repro.net.simulator import EventSimulator
 
@@ -96,3 +98,27 @@ def run_kmp_rtt(repeats: int = 20, seed: int = 3,
             result.footprint[op] = (stats.message_count(op),
                                     stats.byte_count(op))
     return result
+
+
+def _trial(ctx: TrialContext) -> dict:
+    p = ctx.params
+    result = run_kmp_rtt(repeats=p["repeats"], seed=p["seed"],
+                         telemetry=ctx.telemetry)
+    return {
+        "rtts": result.rtts,
+        "footprint": result.footprint,
+        "mean_ms": {op: result.mean_ms(op) for op in OPS},
+    }
+
+
+SPEC = register(ExperimentSpec(
+    name="fig20",
+    title="Key management protocol RTT",
+    source="Fig 20",
+    trial=_trial,
+    defaults={"repeats": 20, "seed": 3},
+    short={"repeats": 3},
+    seed_param="seed",
+    supports_telemetry=True,
+    tags=("figure", "kmp"),
+))

@@ -14,6 +14,8 @@ from typing import Dict, List
 
 from repro.core.auth_dataplane import P4AuthConfig, P4AuthDataplane
 from repro.core.controller import P4AuthController
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
 from repro.net.topology import linear_chain
 from repro.systems.hula import HulaDataplane, chain_hula_configs, make_probe
 
@@ -99,3 +101,47 @@ def overhead_curve(hop_counts=range(2, 11),
             "overhead_pct": overhead,
         })
     return rows
+
+
+def curve_from_trials(results) -> List[dict]:
+    """Assemble the Fig 21 series from per-(hops, with_p4auth) trial
+    dicts (the engine's canonical form of :func:`overhead_curve`)."""
+    by_key = {(r["num_switches"], r["with_p4auth"]): r for r in results}
+    rows = []
+    for hops in sorted({k for k, _ in by_key}):
+        base = by_key[(hops, False)]
+        auth = by_key[(hops, True)]
+        overhead = (auth["mean_traversal_s"] / base["mean_traversal_s"]
+                    - 1.0) * 100
+        rows.append({
+            "hops": hops,
+            "base_us": base["mean_traversal_s"] * 1e6,
+            "p4auth_us": auth["mean_traversal_s"] * 1e6,
+            "overhead_pct": overhead,
+        })
+    return rows
+
+
+def _trial(ctx: TrialContext) -> dict:
+    p = ctx.params
+    result = run_multihop(p["hops"], p["with_p4auth"],
+                          num_probes=p["num_probes"],
+                          spacing_s=p["spacing_s"])
+    return {
+        "num_switches": result.num_switches,
+        "with_p4auth": result.with_p4auth,
+        "mean_traversal_s": result.mean_traversal_s,
+        "traversal_times_s": result.traversal_times_s,
+    }
+
+
+SPEC = register(ExperimentSpec(
+    name="fig21",
+    title="Probe traversal overhead vs hop count",
+    source="Fig 21",
+    trial=_trial,
+    grid={"hops": list(range(2, 11)), "with_p4auth": [False, True]},
+    defaults={"num_probes": 50, "spacing_s": 0.005},
+    short={"hops": [2, 4], "num_probes": 10},
+    tags=("figure", "overhead"),
+))

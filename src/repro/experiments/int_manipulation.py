@@ -20,6 +20,8 @@ from typing import Dict
 from repro.attacks.base import Adversary
 from repro.core.auth_dataplane import P4AuthConfig, P4AuthDataplane
 from repro.core.controller import P4AuthController
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
 from repro.net.topology import linear_chain
 from repro.systems.int_telemetry import (
     RECORD_BYTES,
@@ -154,3 +156,22 @@ def run_int_manipulation(mode: str, num_switches: int = 4,
 def run_all(num_probes: int = 40) -> Dict[str, IntResult]:
     return {mode: run_int_manipulation(mode, num_probes=num_probes)
             for mode in MODES}
+
+
+def _trial(ctx: TrialContext) -> IntResult:
+    p = ctx.params
+    return run_int_manipulation(
+        p["mode"], num_switches=p["num_switches"],
+        num_probes=p["num_probes"], spacing_s=p["spacing_s"])
+
+
+SPEC = register(ExperimentSpec(
+    name="int",
+    title="INT record manipulation (secINT scenario)",
+    source="§I/§X (secINT)",
+    trial=_trial,
+    grid={"mode": list(MODES)},
+    defaults={"num_switches": 4, "num_probes": 40, "spacing_s": 0.005},
+    short={"num_probes": 10},
+    tags=("attack", "telemetry"),
+))

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
 from repro.systems import blink, flowradar, netcache, netwarden, silkroad
 from repro.systems.tableone import MODES, TableIScenarioResult
 
@@ -54,3 +56,17 @@ def run_table1(systems: Dict = None) -> TableIResult:
     for name, scenario in (systems or SYSTEMS).items():
         result.matrix[name] = {mode: scenario(mode) for mode in MODES}
     return result
+
+
+def _trial(ctx: TrialContext) -> TableIScenarioResult:
+    return SYSTEMS[ctx.params["system"]](ctx.params["mode"])
+
+
+SPEC = register(ExperimentSpec(
+    name="table1",
+    title="Attack impact across system classes",
+    source="Table I",
+    trial=_trial,
+    grid={"system": sorted(SYSTEMS), "mode": list(MODES)},
+    tags=("table", "impact"),
+))

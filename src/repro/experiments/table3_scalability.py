@@ -24,6 +24,8 @@ import networkx as nx
 from repro.core.auth_dataplane import P4AuthDataplane
 from repro.core.controller import P4AuthController
 from repro.dataplane.switch import DataplaneSwitch
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
 from repro.net.network import Network
 from repro.net.simulator import EventSimulator
 
@@ -164,3 +166,20 @@ def run_multidomain(total_switches: int = 200, domains: int = 8,
         domains=domains,
         per_domain=domain,
     )
+
+
+def _trial(ctx: TrialContext) -> ScalabilityResult:
+    p = ctx.params
+    return run_table3(m=p["m"], degree=p["degree"], seed=p["seed"])
+
+
+SPEC = register(ExperimentSpec(
+    name="table3",
+    title="KMP scalability on a live network",
+    source="Table III",
+    trial=_trial,
+    defaults={"m": 25, "degree": 4, "seed": 1},
+    short={"m": 9},
+    seed_param="seed",
+    tags=("table", "kmp", "scalability"),
+))

@@ -32,6 +32,8 @@ from repro.core.auth_dataplane import P4AuthConfig, P4AuthDataplane
 from repro.core.constants import REG_OP, RegOpType
 from repro.core.controller import P4AuthController
 from repro.dataplane.switch import DataplaneSwitch
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import ChannelBlackout, FaultPlan, LinkFault, NodeFault
 from repro.net.network import Network
@@ -77,13 +79,25 @@ class ChaosReport:
 
 
 class ChaosScenario:
-    """Base class: a named, seeded workload-under-fault."""
+    """Base class: a named, seeded workload-under-fault.
+
+    ``default_plan`` is the scenario's fault-plan hook: a pure function
+    of ``(seed, duration_s)`` the experiment engine also calls, so a
+    sweep can reproduce or perturb the exact schedule a scenario arms.
+    ``run(plan=...)`` overrides it.
+    """
 
     name = "abstract"
     description = ""
+    default_duration_s = 1.0
+
+    @staticmethod
+    def default_plan(seed: int, duration_s: float) -> FaultPlan:
+        raise NotImplementedError
 
     def run(self, seed: int = 1, telemetry=None,
-            duration_s: Optional[float] = None) -> ChaosReport:
+            duration_s: Optional[float] = None,
+            plan: Optional[FaultPlan] = None) -> ChaosReport:
         raise NotImplementedError
 
 
@@ -125,9 +139,18 @@ class KmpBlackoutScenario(ChaosScenario):
     name = "kmp-blackout"
     description = ("Blackout both control channels; KMP ops issued inside "
                    "the window are abandoned, then re-converge after it.")
+    default_duration_s = 1.5
+
+    @staticmethod
+    def default_plan(seed: int, duration_s: float) -> FaultPlan:
+        return FaultPlan(seed=seed, blackouts=[
+            ChannelBlackout("s1", start_s=0.2, end_s=0.5),
+            ChannelBlackout("s2", start_s=0.2, end_s=0.5),
+        ])
 
     def run(self, seed: int = 1, telemetry=None,
-            duration_s: Optional[float] = None) -> ChaosReport:
+            duration_s: Optional[float] = None,
+            plan: Optional[FaultPlan] = None) -> ChaosReport:
         duration = duration_s if duration_s is not None else 1.5
         report = ChaosReport(self.name, seed)
         dep = _Deployment(num_switches=2,
@@ -135,10 +158,7 @@ class KmpBlackoutScenario(ChaosScenario):
                           registers=[("demo", 64, 8)],
                           telemetry=telemetry)
         sim, kmp = dep.sim, dep.controller.kmp
-        plan = FaultPlan(seed=seed, blackouts=[
-            ChannelBlackout("s1", start_s=0.2, end_s=0.5),
-            ChannelBlackout("s2", start_s=0.2, end_s=0.5),
-        ])
+        plan = plan or self.default_plan(seed, duration)
         injector = FaultInjector(dep.net, plan).arm()
 
         # Roll both local keys mid-blackout: every message is eaten, so
@@ -189,18 +209,24 @@ class CrashRestartScenario(ChaosScenario):
     description = ("Crash a switch (wiping its key registers) mid-write; "
                    "requests fail terminally, then succeed after restart "
                    "and re-keying.")
+    default_duration_s = 1.0
+
+    @staticmethod
+    def default_plan(seed: int, duration_s: float) -> FaultPlan:
+        return FaultPlan(seed=seed, node_faults=[
+            NodeFault("s1", crash_at_s=0.3, restart_at_s=0.5,
+                      wipe_registers=True),
+        ])
 
     def run(self, seed: int = 1, telemetry=None,
-            duration_s: Optional[float] = None) -> ChaosReport:
+            duration_s: Optional[float] = None,
+            plan: Optional[FaultPlan] = None) -> ChaosReport:
         duration = duration_s if duration_s is not None else 1.0
         report = ChaosReport(self.name, seed)
         dep = _Deployment(num_switches=1, registers=[("chaos", 64, 8)],
                           telemetry=telemetry, request_timeout_s=0.05)
         sim, controller = dep.sim, dep.controller
-        plan = FaultPlan(seed=seed, node_faults=[
-            NodeFault("s1", crash_at_s=0.3, restart_at_s=0.5,
-                      wipe_registers=True),
-        ])
+        plan = plan or self.default_plan(seed, duration)
         injector = FaultInjector(dep.net, plan).arm()
         rekeyed: List[float] = []
         injector.on_node_restart.append(
@@ -253,9 +279,20 @@ class LossyFig17Scenario(ChaosScenario):
                    "probe tamperer, a C-DP write tamperer, and a replayer: "
                    "no forged write lands, the compromised path attracts "
                    "no traffic, and KMP re-converges.")
+    default_duration_s = 3.0
+
+    @staticmethod
+    def default_plan(seed: int, duration_s: float) -> FaultPlan:
+        return FaultPlan(seed=seed, link_faults=[
+            LinkFault("drop", probability=0.05, start_s=0.1,
+                      end_s=duration_s),
+            LinkFault("reorder", probability=0.05, delay_s=2e-4,
+                      start_s=0.1, end_s=duration_s),
+        ])
 
     def run(self, seed: int = 1, telemetry=None,
-            duration_s: Optional[float] = None) -> ChaosReport:
+            duration_s: Optional[float] = None,
+            plan: Optional[FaultPlan] = None) -> ChaosReport:
         from repro.net.topology import hula_fig3_topology
         from repro.systems.hula import (
             HulaDataplane,
@@ -291,11 +328,7 @@ class LossyFig17Scenario(ChaosScenario):
         sim.run(until=0.1)
 
         # --- faults: 5% loss + 5% reorder on every link, whole run ------
-        plan = FaultPlan(seed=seed, link_faults=[
-            LinkFault("drop", probability=0.05, start_s=0.1, end_s=duration),
-            LinkFault("reorder", probability=0.05, delay_s=2e-4,
-                      start_s=0.1, end_s=duration),
-        ])
+        plan = plan or self.default_plan(seed, duration)
         injector = FaultInjector(net, plan).arm()
 
         # --- adversaries: DP-DP probe tamper, C-DP write tamper + replay
@@ -438,7 +471,8 @@ SMOKE_SCENARIOS = ("kmp-blackout", "crash-restart")
 
 
 def run_scenario(name: str, seed: int = 1, telemetry=None,
-                 duration_s: Optional[float] = None) -> ChaosReport:
+                 duration_s: Optional[float] = None,
+                 plan: Optional[FaultPlan] = None) -> ChaosReport:
     """Look up and run one scenario by name."""
     try:
         scenario = SCENARIOS[name]
@@ -446,4 +480,53 @@ def run_scenario(name: str, seed: int = 1, telemetry=None,
         raise KeyError(f"unknown chaos scenario {name!r} "
                        f"(have: {sorted(SCENARIOS)})") from None
     return scenario.run(seed=seed, telemetry=telemetry,
-                        duration_s=duration_s)
+                        duration_s=duration_s, plan=plan)
+
+
+def report_to_dict(report: ChaosReport) -> dict:
+    """Canonical trial form of a chaos run (includes derived ``passed``)."""
+    return {
+        "scenario": report.scenario,
+        "seed": report.seed,
+        "passed": report.passed,
+        "invariants": [
+            {"name": inv.name, "passed": inv.passed, "detail": inv.detail}
+            for inv in report.invariants
+        ],
+        "metrics": dict(report.metrics),
+    }
+
+
+def _chaos_trial(ctx: TrialContext) -> dict:
+    p = ctx.params
+    report = run_scenario(p["scenario"], seed=p["seed"],
+                          telemetry=ctx.telemetry,
+                          duration_s=p["duration_s"],
+                          plan=ctx.fault_plan)
+    return report_to_dict(report)
+
+
+def _register_chaos_specs() -> Dict[str, ExperimentSpec]:
+    specs = {}
+    for scenario in SCENARIOS.values():
+        def fault_plan(params, seed,
+                       _scenario=scenario) -> FaultPlan:
+            return _scenario.default_plan(seed, params["duration_s"])
+
+        specs[scenario.name] = register(ExperimentSpec(
+            name=scenario.name,
+            title="Chaos: "
+                  + scenario.description.split(";")[0].split(",")[0],
+            source="chaos",
+            trial=_chaos_trial,
+            defaults={"scenario": scenario.name, "seed": 1,
+                      "duration_s": scenario.default_duration_s},
+            seed_param="seed",
+            supports_telemetry=True,
+            fault_plan=fault_plan,
+            tags=("chaos",),
+        ))
+    return specs
+
+
+CHAOS_SPECS = _register_chaos_specs()

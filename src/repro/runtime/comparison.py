@@ -12,6 +12,8 @@ from typing import Dict, Tuple
 from repro.core.auth_dataplane import P4AuthDataplane
 from repro.core.controller import P4AuthController
 from repro.dataplane.switch import DataplaneSwitch
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
 from repro.net.network import Network
 from repro.net.simulator import EventSimulator
 from repro.runtime.harness import RunStats, run_sequential
@@ -64,3 +66,60 @@ def measure(duration_s: float = 10.0, costs=None,
             table[(name, kind)] = run_sequential(
                 sim, stack, kind, "s1", "target", duration_s=duration_s)
     return table
+
+
+def stats_to_dict(stats: RunStats, stack: str,
+                  include_samples: bool = False) -> dict:
+    """Canonical trial form of one sequential run (Fig 18/19 columns)."""
+    out = {
+        "stack": stack,
+        "kind": stats.kind,
+        "duration_s": stats.duration_s,
+        "completed": stats.completed,
+        "throughput_rps": stats.throughput_rps,
+        "mean_rct_s": stats.mean_rct_s,
+        "p5_rct_s": stats.percentile_rct_s(5),
+        "p50_rct_s": stats.percentile_rct_s(50),
+        "p95_rct_s": stats.percentile_rct_s(95),
+        "p99_rct_s": stats.percentile_rct_s(99),
+    }
+    if include_samples:
+        out["rcts_s"] = list(stats.rcts_s)
+    return out
+
+
+def _trial(ctx: TrialContext) -> dict:
+    p = ctx.params
+    costs = None
+    if p["jitter_fraction"]:
+        from repro.net.costs import CostModel
+        costs = CostModel(jitter_fraction=p["jitter_fraction"])
+    sim, stack = build_stack(p["stack"], costs, telemetry=ctx.telemetry)
+    stats = run_sequential(sim, stack, p["kind"], "s1", "target",
+                           duration_s=p["duration_s"])
+    return stats_to_dict(stats, p["stack"],
+                         include_samples=p["include_samples"])
+
+
+def _comparison_spec(name: str, title: str, source: str) -> ExperimentSpec:
+    # Fig 18 (RCT) and Fig 19 (throughput) are two views of the same
+    # sequential workload; both are registered so each figure is
+    # independently addressable by ``repro run``.
+    return ExperimentSpec(
+        name=name,
+        title=title,
+        source=source,
+        trial=_trial,
+        grid={"stack": list(STACKS), "kind": ["read", "write"]},
+        defaults={"duration_s": 10.0, "jitter_fraction": 0.0,
+                  "include_samples": False},
+        short={"duration_s": 1.0},
+        supports_telemetry=True,
+        tags=("figure", "runtime"),
+    )
+
+
+FIG18_SPEC = register(_comparison_spec(
+    "fig18", "Register R/W request completion time", "Fig 18"))
+FIG19_SPEC = register(_comparison_spec(
+    "fig19", "Register R/W throughput", "Fig 19"))

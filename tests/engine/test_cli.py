@@ -1,0 +1,101 @@
+"""CLI tests for the engine front-end: run / list / report / listing."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.engine import load_artifact, validate_artifact
+
+
+class TestListing:
+    def test_no_arguments_lists_registry(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Registered experiments" in out
+        for name in ("fig17", "table2", "kmp-blackout", "lossy-fig17"):
+            assert name in out
+
+    def test_list_subcommand(self, capsys):
+        assert main(["list"]) == 0
+        assert "Registered experiments" in capsys.readouterr().out
+
+    def test_unknown_command_lists_and_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["not-a-command"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown command" in err
+        assert "Registered experiments" in err
+
+    def test_run_unknown_experiment_lists_and_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig99"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "Registered experiments" in err
+
+
+class TestRun:
+    def test_run_emits_valid_artifact(self, tmp_path, capsys):
+        assert main(["run", "table2", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Hardware resource overhead" in out
+        path = tmp_path / "BENCH_table2.json"
+        assert path.exists()
+        doc = load_artifact(str(path))
+        validate_artifact(doc)
+        assert [t["params"]["program"] for t in doc["trials"]] == \
+            ["baseline", "p4auth"]
+
+    def test_run_sweep_short_and_workers(self, tmp_path, capsys):
+        assert main(["run", "fig21", "--sweep", "hops=2,3",
+                     "--short", "--workers", "2",
+                     "--out-dir", str(tmp_path)]) == 0
+        doc = load_artifact(str(tmp_path / "BENCH_fig21.json"))
+        validate_artifact(doc)
+        assert len(doc["trials"]) == 4
+        assert {t["params"]["hops"] for t in doc["trials"]} == {2, 3}
+        assert doc["run_meta"]["workers"] == 2
+        assert capsys.readouterr().out  # table printed
+
+    def test_run_cache_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["run", "table2", "--cache", "--cache-dir", cache_dir,
+                "--out-dir", ""]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "2 executed, 0 cached" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 cached" in second
+
+    def test_run_base_seed_recorded_in_artifact(self, tmp_path):
+        assert main(["run", "table3", "--short", "--seed", "9",
+                     "--out-dir", str(tmp_path)]) == 0
+        doc = load_artifact(str(tmp_path / "BENCH_table3.json"))
+        assert doc["base_seed"] == 9
+        assert doc["trials"][0]["seed"] == doc["trials"][0]["params"]["seed"]
+
+
+class TestReport:
+    def test_report_renders_artifacts(self, tmp_path, capsys, monkeypatch):
+        assert main(["run", "table2", "--out-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "table2 — Hardware resource overhead" in out
+        assert "51.4" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        assert main(["run", "table2", "--out-dir", str(tmp_path)]) == 0
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--dir", str(tmp_path),
+                     "--out", str(out_file)]) == 0
+        assert "benchmark artifacts" in out_file.read_text()
+
+    def test_report_empty_directory(self, tmp_path, capsys):
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        assert "No `BENCH_*.json` artifacts" in capsys.readouterr().out
