@@ -19,6 +19,9 @@ engine.
                                      # Prometheus-style metrics dump
     python -m repro chaos            # fault-injection scenarios (all)
     python -m repro chaos kmp-blackout --seed 7 --trace-out chaos.jsonl
+    python -m repro verify --all     # static analysis of every program
+    python -m repro verify p4auth --format json
+    python -m repro verify --selftest  # mutant battery
 """
 
 from __future__ import annotations
@@ -265,8 +268,8 @@ def print_experiment_listing(stream=None) -> None:
     print(table, file=stream)
     print("\nUsage: python -m repro run <name> [--sweep k=v1,v2] "
           "[--workers N] [--seed N] [--short]\n"
-          "       python -m repro {list,report," + ",".join(sorted(COMMANDS))
-          + ",all}", file=stream)
+          "       python -m repro {list,report,verify,"
+          + ",".join(sorted(COMMANDS)) + ",all}", file=stream)
 
 
 def cmd_run(argv) -> int:
@@ -281,8 +284,10 @@ def cmd_run(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro run",
         description="Run one registered experiment through the engine.")
-    parser.add_argument("name", help="registered experiment name "
-                                     "(see `python -m repro list`)")
+    parser.add_argument("name", nargs="?", default=None,
+                        help="registered experiment name "
+                             "(see `python -m repro list`); omit to "
+                             "print the listing")
     parser.add_argument("--sweep", action="append", default=[],
                         metavar="PARAM=V1,V2",
                         help="sweep a parameter over comma-separated "
@@ -308,6 +313,11 @@ def cmd_run(argv) -> int:
                              "(specs that support telemetry only)")
     args = parser.parse_args(argv)
 
+    if args.name is None:
+        # Bare `repro run` is informational, not an error: show what the
+        # engine can run and exit cleanly.
+        print_experiment_listing()
+        return 0
     try:
         spec = get_spec(args.name)
     except KeyError:
@@ -375,6 +385,9 @@ def main(argv=None) -> int:
         return cmd_run(rest)
     if command == "report":
         return cmd_report(rest)
+    if command == "verify":
+        from repro.verify.cli import cmd_verify
+        return cmd_verify(rest)
     if command not in COMMANDS and command != "all":
         print(f"unknown command {command!r}\n", file=sys.stderr)
         print_experiment_listing(sys.stderr)

@@ -60,8 +60,14 @@ def render_artifact_report(directory: str = ".") -> str:
     spec version, seeding policy, run metadata) plus a table of every
     trial's scalar result fields.  Nested lists/dicts are elided — the
     JSON itself remains the full record.
+
+    Files that fail to parse or validate against the artifact schema are
+    skipped and listed in a trailing "Skipped artifacts" section — one
+    corrupt file must not take down the whole report.
     """
-    from repro.engine.artifact import load_artifact, validate_artifact
+    import json
+
+    from repro.engine.artifact import load_artifact
 
     report = MarkdownReport("P4Auth reproduction — benchmark artifacts")
     paths = find_artifacts(directory)
@@ -71,9 +77,13 @@ def render_artifact_report(directory: str = ".") -> str:
             "run `python -m repro run <name> --out-dir` first.")
         return report.render()
 
+    skipped: List[List[object]] = []
     for path in paths:
-        doc = load_artifact(path)
-        validate_artifact(doc)
+        try:
+            doc = load_artifact(path)
+        except (ValueError, json.JSONDecodeError, OSError) as exc:
+            skipped.append([f"`{os.path.basename(path)}`", str(exc)])
+            continue
         meta = doc.get("run_meta", {})
         seeding = (f"base seed {doc['base_seed']}"
                    if doc.get("base_seed") is not None
@@ -99,6 +109,12 @@ def render_artifact_report(directory: str = ".") -> str:
                            else value)
             rows.append(row)
         report.table(["trial", "seed"] + scalar_keys, rows)
+    if skipped:
+        report.section(
+            "Skipped artifacts",
+            f"{len(skipped)} file(s) failed schema validation and were "
+            "not summarized:")
+        report.table(["file", "reason"], skipped)
     return report.render()
 
 

@@ -135,6 +135,11 @@ class P4AuthDataplane:
             [("regId", MatchKind.EXACT, 32), ("opType", MatchKind.EXACT, 8)],
             max_entries=4096,
         )
+        # Explicit miss action: leaves ``_op_ok`` False so an unmapped
+        # (regId, opType) still NACKs, but the table satisfies the PISA
+        # every-table-has-a-default invariant (verify rule INV001).
+        self.mapping_table.register_action("reg_op_miss", lambda: None)
+        self.mapping_table.set_default("reg_op_miss")
         switch.add_table(self.mapping_table)
 
         # Per-operation scratch (models PHV metadata within one packet).

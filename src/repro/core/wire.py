@@ -9,7 +9,7 @@ Byte counts produced here are exactly the Table III message sizes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.constants import (
     ADHKD,
@@ -46,7 +46,24 @@ class WireFormatError(ValueError):
     """The byte string is not a well-formed P4Auth message."""
 
 
-def _payload_type(hdr) -> Optional[tuple]:
+def wire_header_layouts() -> Dict[str, HeaderType]:
+    """Authoritative name -> layout map for every P4Auth wire header.
+
+    The static invariant checker (:mod:`repro.verify.invariants`)
+    compares each program's declared header layouts against this map, so
+    an IR declaration cannot silently disagree with the codec.
+    """
+    return {
+        P4AUTH: P4AUTH_HEADER,
+        REG_OP: REG_OP_HEADER,
+        EAK: EAK_HEADER,
+        ADHKD: ADHKD_HEADER,
+        KEYCTL: KEYCTL_HEADER,
+        ALERT: ALERT_HEADER,
+    }
+
+
+def _payload_type(hdr: Mapping[str, int]) -> Optional[Tuple[str, HeaderType]]:
     hdr_type = hdr["hdrType"]
     if hdr_type == HdrType.REGISTER_OP:
         return REG_OP, REG_OP_HEADER

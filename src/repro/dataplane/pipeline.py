@@ -127,6 +127,10 @@ class Pipeline:
     def stage_names(self) -> List[str]:
         return [name for name, _ in self._stages]
 
+    def describe(self) -> dict:
+        """Static-analysis introspection record (consumed by repro.verify)."""
+        return {"name": self.name, "stages": self.stage_names()}
+
     def run(self, ctx: PipelineContext) -> List[PipelineAction]:
         """Execute the stages in order until done or stopped."""
         # Per-stage occupancy counters; ctx.switch may be a bare stub in

@@ -8,7 +8,7 @@ port-number index — paper §VII).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List
 
 
 class Register:
@@ -45,7 +45,7 @@ class Register:
         self.write_count += 1
         self._cells[index] = value
 
-    def read_modify_write(self, index: int, fn) -> int:
+    def read_modify_write(self, index: int, fn: Callable[[int], int]) -> int:
         """Atomic read-modify-write, as a stateful ALU would perform."""
         self._check_index(index)
         new = fn(self._cells[index]) & self.mask
@@ -74,6 +74,10 @@ class Register:
     def total_bits(self) -> int:
         """Total SRAM footprint in bits."""
         return self.width_bits * self.size
+
+    def describe(self) -> Dict[str, int]:
+        """Static-analysis introspection record (consumed by repro.verify)."""
+        return {"width_bits": self.width_bits, "size": self.size}
 
     def __repr__(self) -> str:
         return f"Register({self.name!r}, {self.width_bits}b x {self.size})"
@@ -128,6 +132,10 @@ class RegisterFile:
 
     def total_bits(self) -> int:
         return sum(r.total_bits for r in self._by_name.values())
+
+    def describe(self) -> Dict[str, Dict[str, int]]:
+        """Name -> layout record for every array (for repro.verify.live)."""
+        return {name: reg.describe() for name, reg in self._by_name.items()}
 
     def __len__(self) -> int:
         return len(self._by_name)

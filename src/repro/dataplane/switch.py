@@ -84,6 +84,22 @@ class DataplaneSwitch:
     def valid_port(self, port: int) -> bool:
         return port == self.CPU_PORT or 1 <= port <= self.num_ports
 
+    def introspect(self) -> Dict[str, object]:
+        """Full static view of the installed program, for repro.verify.
+
+        Returns the pipeline stage order plus per-table and per-register
+        layout records — everything the live cross-checker needs to diff
+        an installed switch against its declared IR without running a
+        single packet.
+        """
+        return {
+            "name": self.name,
+            "num_ports": self.num_ports,
+            "stages": self.pipeline.stage_names(),
+            "tables": {name: t.describe() for name, t in self.tables.items()},
+            "registers": self.registers.describe(),
+        }
+
     # -- packet processing -----------------------------------------------------
 
     def process(self, packet: Packet, ingress_port: int,

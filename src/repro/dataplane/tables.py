@@ -165,8 +165,33 @@ class MatchActionTable:
             for _, kind, _ in self.match_fields
         )
 
+    @property
+    def has_default(self) -> bool:
+        """True once a default (miss) action has been configured."""
+        return self._default_action is not None
+
+    @property
+    def match_kind(self) -> str:
+        """Dominant match kind: ternary > lpm > exact (TCAM precedence)."""
+        kinds = {kind for _, kind, _ in self.match_fields}
+        if MatchKind.TERNARY in kinds:
+            return "ternary"
+        if MatchKind.LPM in kinds:
+            return "lpm"
+        return "exact"
+
     def key_bits(self) -> int:
         return sum(bits for _, _, bits in self.match_fields)
+
+    def describe(self) -> Dict[str, object]:
+        """Static-analysis introspection record (consumed by repro.verify)."""
+        return {
+            "name": self.name,
+            "key_bits": self.key_bits(),
+            "entries": self.max_entries,
+            "match_kind": self.match_kind,
+            "has_default": self.has_default,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -139,3 +139,47 @@ def run_scenario(mode: str, seed: int = 5) -> TableIScenarioResult:
         notes=(f"recovered={recovered}/{NUM_FLOWS} "
                f"failed_reads={failed_reads} decode_ok={decoded is not None}"),
     )
+
+
+# ---------------------------------------------------------------------------
+# static-verification metadata (consumed by repro.verify)
+# ---------------------------------------------------------------------------
+
+def verify_program() -> "object":
+    """Declared IR of the IBLT encode path.
+
+    The executable model performs encoding host-side (:meth:`FlowRadarDataplane.record`),
+    so the declared ``fr_encode`` stage has no live pipeline twin — the
+    registry marks this program ``check_stages=False``.
+    """
+    from repro.verify.ir import (
+        Const, HashDecl, HashDigest, MetaRef, Program,
+        RegReadModifyWrite, RegisterDecl, SetMeta, StageDecl,
+    )
+
+    program = Program("flowradar")
+    program.registers = [
+        RegisterDecl("fr_iblt_count", 32, IBLT_CELLS),
+        RegisterDecl("fr_iblt_idxor", 64, IBLT_CELLS),
+        RegisterDecl("fr_iblt_valsum", 64, IBLT_CELLS),
+    ]
+    program.hashes = [HashDecl("fr_iblt_hash", 3)]
+    program.stages = [StageDecl("fr_encode", (
+        SetMeta("flow_id", Const(0, 32)),
+        HashDigest("cell", (MetaRef("flow_id"),), keyed=False,
+                   extern="iblt_hash"),
+        RegReadModifyWrite("fr_iblt_count", MetaRef("cell"), Const(1),
+                           "cell_count"),
+        RegReadModifyWrite("fr_iblt_idxor", MetaRef("cell"),
+                           MetaRef("flow_id"), "cell_idxor"),
+        RegReadModifyWrite("fr_iblt_valsum", MetaRef("cell"), Const(1),
+                           "cell_valsum"),
+    ))]
+    return program
+
+
+def build_verify_switch() -> DataplaneSwitch:
+    """A live instance matching :func:`verify_program`, for cross-checks."""
+    switch = DataplaneSwitch("flowradar-verify", num_ports=4)
+    FlowRadarDataplane(switch)
+    return switch

@@ -131,3 +131,59 @@ class AggregationJobResult:
     #: Chunks abandoned after exhausting retries (silent-failure bound).
     failed_chunks: int = 0
     notes: str = ""
+
+
+# ---------------------------------------------------------------------------
+# static-verification metadata (consumed by repro.verify)
+# ---------------------------------------------------------------------------
+
+def verify_program() -> "object":
+    """Declared IR of the aggregation stage.
+
+    The result value comes from the atomic ``RegReadModifyWrite`` dst
+    (the stateful ALU returns the updated sum), not from a plain read
+    after the write — hardware has no second access to the array in the
+    same stage (invariant INV002).
+    """
+    from repro.verify.ir import (
+        BinOp, Const, EmitPacket, FieldRef, HeaderDecl, MetaRef, Program,
+        RegRead, RegReadModifyWrite, RegWrite, RegisterDecl, RequireValid,
+        SetField, SetMeta, StageDecl,
+    )
+
+    size = AggregationConfig().max_chunks
+    program = Program("inaggr")
+    program.registers = [
+        RegisterDecl("agg_sum", 64, size),
+        RegisterDecl("agg_count", 16, size),
+        RegisterDecl("agg_bitmap", 32, size),
+    ]
+    program.headers = [
+        HeaderDecl("agg_update", tuple(AGG_HEADER.fields)),
+        HeaderDecl("agg_result", tuple(AGG_RESULT_HEADER.fields)),
+    ]
+    program.stages = [StageDecl("aggregate", (
+        RequireValid("agg_update"),
+        RequireValid("agg_result"),
+        SetMeta("chunk", FieldRef("agg_update", "chunk_id")),
+        RegRead("agg_bitmap", MetaRef("chunk"), "bitmap"),
+        RegWrite("agg_bitmap", MetaRef("chunk"), BinOp("or", (
+            MetaRef("bitmap"), Const(1)))),
+        RegReadModifyWrite("agg_sum", MetaRef("chunk"),
+                           FieldRef("agg_update", "value"), "sum_new"),
+        RegReadModifyWrite("agg_count", MetaRef("chunk"), Const(1),
+                           "count_new"),
+        SetField("agg_result", "job_id", FieldRef("agg_update", "job_id")),
+        SetField("agg_result", "chunk_id",
+                 FieldRef("agg_update", "chunk_id")),
+        SetField("agg_result", "value", MetaRef("sum_new")),
+        EmitPacket(headers=("agg_result",)),
+    ))]
+    return program
+
+
+def build_verify_switch() -> DataplaneSwitch:
+    """A live instance matching :func:`verify_program`, for cross-checks."""
+    switch = DataplaneSwitch("inaggr-verify", num_ports=4)
+    AggregationDataplane(switch).install()
+    return switch

@@ -149,3 +149,42 @@ class IntCollector:
         totals = [sum(r.latency_us for r in records)
                   for records in self.probes]
         return sum(totals) / len(totals)
+
+
+# ---------------------------------------------------------------------------
+# static-verification metadata (consumed by repro.verify)
+# ---------------------------------------------------------------------------
+
+def verify_program() -> "object":
+    """Declared IR of the INT hop: append a record, bump the hop count."""
+    from repro.verify.ir import (
+        BinOp, Const, EmitPacket, FieldRef, HeaderDecl, MetaRef,
+        ExportTelemetry, Program, RequireValid, SetField, SetMeta,
+        StageDecl,
+    )
+
+    program = Program("int")
+    program.headers = [
+        HeaderDecl("int_probe", tuple(INT_HEADER.fields)),
+    ]
+    # Per-hop record fields ride in the payload; claim their PHV scratch.
+    program.phv_container_bits = RECORD_BYTES * 8
+    program.stages = [StageDecl("int", (
+        RequireValid("int_probe"),
+        SetMeta("hop_latency_us", Const(20, 16)),
+        SetMeta("queue_depth", Const(4, 16)),
+        SetField("int_probe", "hop_count", BinOp("add", (
+            FieldRef("int_probe", "hop_count"), Const(1, 8)))),
+        ExportTelemetry(fields=(
+            MetaRef("hop_latency_us"), MetaRef("queue_depth"),
+            FieldRef("int_probe", "flow_id"))),
+        EmitPacket(headers=("int_probe",)),
+    ))]
+    return program
+
+
+def build_verify_switch() -> DataplaneSwitch:
+    """A live instance matching :func:`verify_program`, for cross-checks."""
+    switch = DataplaneSwitch("int-verify", num_ports=4)
+    IntTelemetryDataplane(switch, IntConfig(switch_id=1)).install()
+    return switch

@@ -92,3 +92,44 @@ class L3ForwardingDataplane:
             ipv4["flow_id"] % self.stats.size, lambda v: v + 1
         )
         ctx.emit(self._egress)
+
+
+# ---------------------------------------------------------------------------
+# static-verification metadata (consumed by repro.verify)
+# ---------------------------------------------------------------------------
+
+def verify_program() -> "object":
+    """Declared IR of the forwarder, mirroring the constructor defaults."""
+    from repro.verify.ir import (
+        ApplyTable, BinOp, Const, EmitPacket, FieldRef, HeaderDecl,
+        MetaRef, Program, RegReadModifyWrite, RegisterDecl, RequireValid,
+        SetField, SetMeta, StageDecl, TableDecl,
+    )
+
+    program = Program("l3fwd")
+    program.registers = [RegisterDecl("flow_stats", 32, 256)]
+    program.tables = [
+        TableDecl("ipv4_lpm", key_bits=32, entries=12288, match_kind="lpm"),
+        TableDecl("l2_rewrite", key_bits=16, entries=16384,
+                  match_kind="exact"),
+    ]
+    program.headers = [HeaderDecl("ipv4", tuple(IPV4_HEADER.fields))]
+    program.stages = [StageDecl("l3fwd", (
+        RequireValid("ipv4"),
+        SetField("ipv4", "ttl", BinOp("sub", (
+            FieldRef("ipv4", "ttl"), Const(1, 8)))),
+        SetMeta("egress_port", Const(0, 16)),
+        ApplyTable("ipv4_lpm", (FieldRef("ipv4", "dst"),)),
+        ApplyTable("l2_rewrite", (MetaRef("egress_port"),)),
+        RegReadModifyWrite("flow_stats", FieldRef("ipv4", "flow_id"),
+                           Const(1), "flow_count"),
+        EmitPacket(headers=("ipv4",)),
+    ))]
+    return program
+
+
+def build_verify_switch() -> DataplaneSwitch:
+    """A live instance matching :func:`verify_program`, for cross-checks."""
+    switch = DataplaneSwitch("l3fwd-verify", num_ports=4)
+    L3ForwardingDataplane(switch).install()
+    return switch

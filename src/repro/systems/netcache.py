@@ -170,3 +170,50 @@ def run_scenario(mode: str, queries: int = 4000,
         detected=detected,
         notes=f"hit_rate={hit_rate:.2f}",
     )
+
+
+# ---------------------------------------------------------------------------
+# static-verification metadata (consumed by repro.verify)
+# ---------------------------------------------------------------------------
+
+def verify_program() -> "object":
+    """Declared IR of the NetCache stage (cache probe + sketch update)."""
+    from repro.verify.ir import (
+        Const, EmitPacket, FieldRef, HashDecl, HashDigest, HeaderDecl,
+        MetaRef, Program, RegRead, RegReadModifyWrite, RegisterDecl,
+        RequireValid, StageDecl,
+    )
+
+    program = Program("netcache")
+    program.registers = [
+        RegisterDecl("nc_cache_keys", 32, CACHE_SLOTS),
+        RegisterDecl("nc_cache_vals", 64, CACHE_SLOTS),
+        RegisterDecl("nc_sketch_row0", 32, 256),
+        RegisterDecl("nc_sketch_row1", 32, 256),
+    ]
+    program.headers = [
+        HeaderDecl("nc_query", tuple(NC_QUERY_HEADER.fields)),
+    ]
+    program.hashes = [HashDecl("nc_sketch_hash", 2)]
+    program.stages = [StageDecl("netcache", (
+        RequireValid("nc_query"),
+        RegRead("nc_cache_keys", Const(0), "cached_key"),
+        RegRead("nc_cache_vals", Const(0), "cached_val"),
+        HashDigest("row0_idx", (FieldRef("nc_query", "key"),),
+                   keyed=False, extern="cms_row0"),
+        RegReadModifyWrite("nc_sketch_row0", MetaRef("row0_idx"),
+                           Const(1), "row0_count"),
+        HashDigest("row1_idx", (FieldRef("nc_query", "key"),),
+                   keyed=False, extern="cms_row1"),
+        RegReadModifyWrite("nc_sketch_row1", MetaRef("row1_idx"),
+                           Const(1), "row1_count"),
+        EmitPacket(headers=("nc_query",)),
+    ))]
+    return program
+
+
+def build_verify_switch() -> DataplaneSwitch:
+    """A live instance matching :func:`verify_program`, for cross-checks."""
+    switch = DataplaneSwitch("netcache-verify", num_ports=4)
+    NetCacheDataplane(switch).install()
+    return switch

@@ -185,3 +185,51 @@ def run_scenario(mode: str, packets_per_conn: int = 40,
         notes=(f"blocked={blocked} unverified={unverified} "
                f"benign_blocked={benign_blocked}"),
     )
+
+
+# ---------------------------------------------------------------------------
+# static-verification metadata (consumed by repro.verify)
+# ---------------------------------------------------------------------------
+
+def verify_program() -> "object":
+    """Declared IR of the NetWarden IPD-statistics stage."""
+    from repro.verify.ir import (
+        BinOp, Const, EmitPacket, FieldRef, HeaderDecl, MetaRef, Program,
+        RegRead, RegReadModifyWrite, RegWrite, RegisterDecl, RequireValid,
+        SetMeta, StageDecl,
+    )
+
+    n = NUM_CONNECTIONS
+    program = Program("netwarden")
+    program.registers = [
+        RegisterDecl("nw_last_arrival_us", 64, n),
+        RegisterDecl("nw_ipd_count", 32, n),
+        RegisterDecl("nw_ipd_sum", 64, n),
+        RegisterDecl("nw_ipd_sq_sum", 64, n),
+        RegisterDecl("nw_blocked", 8, n),
+    ]
+    program.headers = [HeaderDecl("nw_pkt", tuple(NW_PKT_HEADER.fields))]
+    program.stages = [StageDecl("netwarden", (
+        RequireValid("nw_pkt"),
+        SetMeta("conn", FieldRef("nw_pkt", "conn_id")),
+        SetMeta("now_us", Const(0, 64)),
+        RegRead("nw_blocked", MetaRef("conn"), "blocked"),
+        RegRead("nw_last_arrival_us", MetaRef("conn"), "last"),
+        SetMeta("ipd", BinOp("sub", (MetaRef("now_us"), MetaRef("last")))),
+        RegReadModifyWrite("nw_ipd_count", MetaRef("conn"), Const(1),
+                           "ipd_n"),
+        RegReadModifyWrite("nw_ipd_sum", MetaRef("conn"), MetaRef("ipd"),
+                           "ipd_total"),
+        RegReadModifyWrite("nw_ipd_sq_sum", MetaRef("conn"),
+                           MetaRef("ipd"), "ipd_sq_total"),
+        RegWrite("nw_last_arrival_us", MetaRef("conn"), MetaRef("now_us")),
+        EmitPacket(headers=("nw_pkt",)),
+    ))]
+    return program
+
+
+def build_verify_switch() -> DataplaneSwitch:
+    """A live instance matching :func:`verify_program`, for cross-checks."""
+    switch = DataplaneSwitch("netwarden-verify", num_ports=4)
+    NetWardenDataplane(switch).install()
+    return switch

@@ -158,3 +158,45 @@ def run_scenario(mode: str, pending_flows: int = 40,
         detected=detected,
         notes=f"broken={len(silk.broken_flows)}/{pending_flows}",
     )
+
+
+# ---------------------------------------------------------------------------
+# static-verification metadata (consumed by repro.verify)
+# ---------------------------------------------------------------------------
+
+def verify_program() -> "object":
+    """Declared IR of the SilkRoad stage."""
+    from repro.verify.ir import (
+        Const, EmitPacket, FieldRef, HashDecl, HashDigest, HeaderDecl,
+        MetaRef, Program, RegRead, RegWrite, RegisterDecl, RequireValid,
+        StageDecl,
+    )
+
+    program = Program("silkroad")
+    program.registers = [
+        RegisterDecl("silk_pool_version", 8, 1),
+        RegisterDecl("silk_clear_trigger", 8, 1),
+        RegisterDecl("silk_transit", 1, 2048),
+    ]
+    program.headers = [
+        HeaderDecl("silk_conn", tuple(SILK_CONN_HEADER.fields)),
+    ]
+    program.hashes = [HashDecl("silk_bloom_hash", 2)]
+    program.stages = [StageDecl("silkroad", (
+        RequireValid("silk_conn"),
+        RegRead("silk_clear_trigger", Const(0), "clear"),
+        RegWrite("silk_clear_trigger", Const(0), Const(0, 8)),
+        RegRead("silk_pool_version", Const(0), "pool_ver"),
+        HashDigest("bloom_idx", (FieldRef("silk_conn", "flow_id"),),
+                   keyed=False, extern="bloom"),
+        RegRead("silk_transit", MetaRef("bloom_idx"), "in_transit"),
+        EmitPacket(headers=("silk_conn",)),
+    ))]
+    return program
+
+
+def build_verify_switch() -> DataplaneSwitch:
+    """A live instance matching :func:`verify_program`, for cross-checks."""
+    switch = DataplaneSwitch("silkroad-verify", num_ports=4)
+    SilkRoadDataplane(switch).install()
+    return switch

@@ -1,0 +1,141 @@
+"""Static resource linter: price a declared program against the pipe.
+
+The linter converts the verify IR (:class:`~repro.verify.ir.Program`)
+into the *same* :class:`~repro.dataplane.resources.ProgramSpec` cost
+model the dynamic Table II reproduction uses — one pricing formula, two
+consumers — then checks three things:
+
+* **RES001** (ERROR): a resource exceeds its hardware capacity.  This is
+  the static twin of the ``RuntimeError`` that
+  :meth:`~repro.dataplane.resources.ResourceModel.report` raises.
+* **RES002** (WARNING): usage above the 85% watermark — legal but one
+  table-size bump away from not fitting.
+* **RES003** (ERROR): the static totals diverge from a supplied
+  reference report (e.g. the dynamic Table II numbers) by more than the
+  tolerance, meaning the declared IR has drifted from the executable
+  program.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.dataplane.resources import (
+    HASH_UNITS,
+    PHV_CONTAINERS,
+    SRAM_BLOCKS,
+    TCAM_BLOCKS,
+    ProgramSpec,
+)
+from repro.verify.findings import Finding, make_finding
+from repro.verify.ir import Program
+
+#: Fraction of a capacity above which RES002 fires.
+WATERMARK = 0.85
+
+#: Default RES003 tolerance, in percentage points of utilization.
+REFERENCE_TOLERANCE_PCT = 0.5
+
+CAPACITIES: Dict[str, int] = {
+    "tcam_blocks": TCAM_BLOCKS,
+    "sram_blocks": SRAM_BLOCKS,
+    "hash_units": HASH_UNITS,
+    "phv_containers": PHV_CONTAINERS,
+}
+
+
+def spec_from_program(program: Program) -> ProgramSpec:
+    """Lower the verify IR to the shared ProgramSpec cost model."""
+    spec = ProgramSpec(program.name)
+    for table in program.tables:
+        spec.add_table(table.name, key_bits=table.key_bits,
+                       entries=table.entries,
+                       uses_tcam=table.match_kind in ("ternary", "lpm"),
+                       action_data_bits=table.action_bits)
+    for reg in program.registers:
+        spec.add_register(reg.name, reg.width_bits, reg.size)
+    for hsh in program.hashes:
+        spec.add_hash(hsh.name, hsh.units)
+    for header in program.headers:
+        spec.add_headers(header.name, header.bit_width)
+    if program.phv_container_bits:
+        spec.add_phv_containers(
+            math.ceil(program.phv_container_bits / 32))
+    return spec
+
+
+def static_usage(program: Program) -> Dict[str, int]:
+    """Raw block/unit counts recomputed from the declaration alone."""
+    spec = spec_from_program(program)
+    return {
+        "tcam_blocks": spec.tcam_blocks(),
+        "sram_blocks": spec.sram_blocks(),
+        "hash_units": spec.hash_units(),
+        "phv_containers": spec.phv_containers(),
+    }
+
+
+def static_utilization_pct(program: Program) -> Dict[str, float]:
+    """Utilization percentages keyed like the Table II rows."""
+    usage = static_usage(program)
+    return {
+        resource: round(100.0 * used / CAPACITIES[resource], 1)
+        for resource, used in usage.items()
+    }
+
+
+def analyze_resources(
+    program: Program,
+    reference_pct: Optional[Dict[str, float]] = None,
+    tolerance_pct: float = REFERENCE_TOLERANCE_PCT,
+) -> List[Finding]:
+    """Budget + watermark checks, plus optional reference diffing.
+
+    ``reference_pct`` maps resource keys (``tcam_blocks`` etc.) to the
+    expected utilization percentages; pass the dynamic Table II numbers
+    to prove the static IR and the executable spec agree.
+    """
+    findings: List[Finding] = []
+    usage = static_usage(program)
+
+    for resource, used in usage.items():
+        capacity = CAPACITIES[resource]
+        if used > capacity:
+            findings.append(make_finding(
+                "RES001", program.name,
+                f"{resource} usage {used} exceeds capacity {capacity}",
+                subject=resource))
+        elif used > capacity * WATERMARK:
+            findings.append(make_finding(
+                "RES002", program.name,
+                f"{resource} usage {used}/{capacity} above "
+                f"{int(WATERMARK * 100)}% watermark",
+                subject=resource))
+
+    if reference_pct is not None:
+        actual_pct = static_utilization_pct(program)
+        for resource, expected in reference_pct.items():
+            if resource not in actual_pct:
+                continue
+            got = actual_pct[resource]
+            if abs(got - expected) > tolerance_pct:
+                findings.append(make_finding(
+                    "RES003", program.name,
+                    f"static {resource} utilization {got}% diverges "
+                    f"from reference {expected}% "
+                    f"(tolerance {tolerance_pct} pct-pts)",
+                    subject=resource))
+
+    return findings
+
+
+__all__ = [
+    "CAPACITIES",
+    "REFERENCE_TOLERANCE_PCT",
+    "WATERMARK",
+    "analyze_resources",
+    "spec_from_program",
+    "static_usage",
+    "static_utilization_pct",
+]

@@ -1,0 +1,173 @@
+"""Information-flow taint engine over the verify IR.
+
+Lattice: ``PUBLIC < DIGEST_OK < SECRET``.  Sources are register arrays
+flagged ``secret`` in the program declaration (seeded from
+:mod:`repro.core.secrets` for P4Auth) and the outputs of ``KdfDerive``
+ops.  Labels join (max) through every constrained ALU op; the *only*
+declassification point is a keyed ``HashDigest`` extern, whose output is
+``DIGEST_OK`` regardless of input labels — modelling the P4Auth rule
+that key material may influence the wire only through the HMAC digest
+(paper Eqn 4).  Unkeyed hashes do not declassify.
+
+Sinks and rules:
+
+* ``EmitPacket``       — any SECRET field/expr  → TAINT001 (ERROR)
+* ``RegWrite``/``RegReadModifyWrite`` into a non-secret register with a
+  SECRET value                                  → TAINT002 (ERROR)
+* ``ApplyTable`` key carrying SECRET            → TAINT003 (WARNING)
+* ``ExportTelemetry`` carrying SECRET           → TAINT004 (ERROR)
+* ``SendToController`` carrying SECRET          → TAINT005 (ERROR)
+
+The analysis is a single forward pass per stage sequence (the PISA
+pipeline is feed-forward, so one pass reaches the fixpoint): metadata
+and header-field labels live in an environment threaded through the ops
+in declaration order.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+from repro.verify.findings import Finding, make_finding
+from repro.verify.ir import (
+    ApplyTable,
+    BinOp,
+    Const,
+    EmitPacket,
+    ExportTelemetry,
+    Expr,
+    FieldRef,
+    HashDigest,
+    KdfDerive,
+    MetaRef,
+    Program,
+    RegRead,
+    RegReadModifyWrite,
+    RegWrite,
+    SendToController,
+    SetField,
+    SetMeta,
+)
+
+
+class Label(enum.IntEnum):
+    """Taint lattice; join is ``max``."""
+
+    PUBLIC = 0
+    DIGEST_OK = 1
+    SECRET = 2
+
+
+class TaintState:
+    """Label environment: metadata vars, header fields, register arrays."""
+
+    def __init__(self, program: Program) -> None:
+        self.meta: Dict[str, Label] = {}
+        self.fields: Dict[Tuple[str, str], Label] = {}
+        # Register labels are per-array (index-insensitive): a secret
+        # array is secret in every cell.
+        self.registers: Dict[str, Label] = {
+            r.name: (Label.SECRET if r.secret else Label.PUBLIC)
+            for r in program.registers
+        }
+
+    def eval(self, expr: Expr) -> Label:
+        if isinstance(expr, Const):
+            return Label.PUBLIC
+        if isinstance(expr, FieldRef):
+            return self.fields.get((expr.header, expr.field), Label.PUBLIC)
+        if isinstance(expr, MetaRef):
+            return self.meta.get(expr.name, Label.PUBLIC)
+        if isinstance(expr, BinOp):
+            label = Label.PUBLIC
+            for arg in expr.args:
+                label = max(label, self.eval(arg))
+            return label
+        raise TypeError(f"unknown expr {expr!r}")
+
+
+def _describe(label: Label) -> str:
+    return label.name
+
+
+def analyze_taint(program: Program) -> List[Finding]:
+    """Run the forward taint pass and return all flow violations."""
+    findings: List[Finding] = []
+    state = TaintState(program)
+
+    for stage_name, op_index, op in program.ops():
+        def report(rule: str, message: str, subject: str = "") -> None:
+            findings.append(make_finding(
+                rule, program.name, message,
+                stage=stage_name, op_index=op_index,
+                subject=subject or None))
+
+        if isinstance(op, SetMeta):
+            state.meta[op.dst] = state.eval(op.expr)
+        elif isinstance(op, SetField):
+            state.fields[(op.header, op.field)] = state.eval(op.expr)
+        elif isinstance(op, RegRead):
+            state.meta[op.dst] = state.registers.get(op.register,
+                                                     Label.PUBLIC)
+        elif isinstance(op, (RegWrite, RegReadModifyWrite)):
+            written = state.eval(op.expr)
+            stored = state.registers.get(op.register, Label.PUBLIC)
+            if written is Label.SECRET and stored is not Label.SECRET:
+                report("TAINT002",
+                       f"SECRET value written to non-secret register "
+                       f"{op.register!r}", subject=op.register)
+            if isinstance(op, RegReadModifyWrite):
+                # dst carries the updated cell: join of the stored label
+                # and the update expression.
+                state.meta[op.dst] = max(stored, written)
+        elif isinstance(op, ApplyTable):
+            for key in op.keys:
+                if state.eval(key) is Label.SECRET:
+                    report("TAINT003",
+                           f"SECRET value used as match key of table "
+                           f"{op.table!r}", subject=op.table)
+        elif isinstance(op, HashDigest):
+            joined = Label.PUBLIC
+            for inp in op.inputs:
+                joined = max(joined, state.eval(inp))
+            if op.keyed:
+                # The declassification boundary: a keyed digest of any
+                # inputs (secret or not) is safe to emit.
+                state.meta[op.dst] = Label.DIGEST_OK
+            else:
+                state.meta[op.dst] = joined
+        elif isinstance(op, KdfDerive):
+            state.meta[op.dst] = Label.SECRET
+        elif isinstance(op, EmitPacket):
+            for expr in op.fields:
+                label = state.eval(expr)
+                if label is Label.SECRET:
+                    report("TAINT001",
+                           f"{_describe(label)} value reaches emitted "
+                           f"packet field {expr!r}")
+            for header in op.headers:
+                for (hname, fname), label in state.fields.items():
+                    if hname == header and label is Label.SECRET:
+                        report("TAINT001",
+                               f"emitted header {header!r} field "
+                               f"{fname!r} carries SECRET data",
+                               subject=header)
+        elif isinstance(op, SendToController):
+            for expr in op.fields:
+                if state.eval(expr) is Label.SECRET:
+                    report("TAINT005",
+                           f"SECRET value reaches ToController payload "
+                           f"{expr!r}")
+        elif isinstance(op, ExportTelemetry):
+            for expr in op.fields:
+                if state.eval(expr) is Label.SECRET:
+                    report("TAINT004",
+                           f"SECRET value reaches telemetry export "
+                           f"{expr!r}")
+        # RequireValid: no taint effect.
+
+    return findings
+
+
+__all__ = ["Label", "TaintState", "analyze_taint"]

@@ -10,13 +10,19 @@ exception, never a hang, never a partial crash.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.constants import AlertCode, KeyExchType, P4AUTH
+from repro.core.constants import (
+    AlertCode,
+    KeyExchType,
+    P4AUTH,
+    RegOpType,
+)
 from repro.core.messages import (
     build_adhkd_message,
     build_alert,
     build_eak_message,
     build_keyctl_message,
     build_reg_read_request,
+    build_reg_response,
     build_reg_write_request,
 )
 from repro.core.wire import WireFormatError, parse_message, serialize_message
@@ -37,7 +43,10 @@ KEYCTL_TYPES = st.sampled_from([KeyExchType.PORT_KEY_INIT,
 @st.composite
 def messages(draw):
     """An arbitrary well-formed P4Auth message of any kind."""
-    kind = draw(st.integers(min_value=0, max_value=5))
+    kind = draw(st.integers(min_value=0, max_value=6))
+    if kind == 6:
+        return build_reg_response(draw(st.booleans()), draw(U32), draw(U32),
+                                  draw(U64), draw(U32), key_ver=draw(U8))
     if kind == 0:
         return build_reg_read_request(draw(U32), draw(U32), draw(U32),
                                       key_ver=draw(U8))
@@ -64,6 +73,20 @@ def test_any_message_roundtrips_byte_exactly(message):
     assert parsed.serialize() == wire
     assert parsed.header_names() == message.header_names()
     assert parsed.get(P4AUTH) == message.get(P4AUTH)
+
+
+@given(st.booleans(), U32, U32, U64, U32, U8)
+@settings(max_examples=200, deadline=None)
+def test_reg_response_roundtrips(ok, reg_id, index, value, seq, key_ver):
+    """ACK/NACK responses (PR 2's coverage gap) round-trip byte-exactly
+    and keep the ok bit in the message type across the wire."""
+    message = build_reg_response(ok, reg_id, index, value, seq,
+                                 key_ver=key_ver)
+    wire = serialize_message(message)
+    parsed = parse_message(wire)
+    assert parsed.serialize() == wire
+    expected = RegOpType.ACK if ok else RegOpType.NACK
+    assert parsed.get(P4AUTH)["msgType"] == int(expected)
 
 
 @given(messages(), st.data())
@@ -101,6 +124,8 @@ def test_every_prefix_of_each_kind_is_handled():
     samples = [
         build_reg_read_request(1, 2, 3),
         build_reg_write_request(1, 2, 3, 4),
+        build_reg_response(True, 1, 2, 3, 4),
+        build_reg_response(False, 1, 2, 3, 4),
         build_eak_message(KeyExchType.EAK_SALT1, 0xABCD, 1),
         build_adhkd_message(KeyExchType.ADHKD_MSG1, 7, 8, 2),
         build_keyctl_message(KeyExchType.PORT_KEY_UPDATE, 3, 5),

@@ -37,6 +37,11 @@ class TestListing:
         assert "unknown experiment" in err
         assert "Registered experiments" in err
 
+    def test_run_bare_is_informational_and_exits_0(self, capsys):
+        assert main(["run"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered experiments" in out
+
 
 class TestRun:
     def test_run_emits_valid_artifact(self, tmp_path, capsys):
@@ -99,3 +104,18 @@ class TestReport:
     def test_report_empty_directory(self, tmp_path, capsys):
         assert main(["report", "--dir", str(tmp_path)]) == 0
         assert "No `BENCH_*.json` artifacts" in capsys.readouterr().out
+
+    def test_report_skips_invalid_artifacts_with_warning(
+            self, tmp_path, capsys):
+        assert main(["run", "table2", "--out-dir", str(tmp_path)]) == 0
+        (tmp_path / "BENCH_corrupt.json").write_text("{not json")
+        (tmp_path / "BENCH_badschema.json").write_text(
+            json.dumps({"schema": "other/9"}))
+        capsys.readouterr()
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        # The valid artifact still renders; the broken ones are listed.
+        assert "table2 — Hardware resource overhead" in out
+        assert "Skipped artifacts" in out
+        assert "BENCH_corrupt.json" in out
+        assert "BENCH_badschema.json" in out

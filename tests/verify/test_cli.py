@@ -1,0 +1,107 @@
+"""The ``repro verify`` CLI: exit codes, formats, registry coverage."""
+
+import json
+
+import pytest
+
+import repro.verify.cli as cli
+from repro.__main__ import main
+from repro.verify.findings import make_finding
+from repro.verify.registry import all_entries, get_entry, program_names
+
+EXPECTED_PROGRAMS = {
+    "l3fwd", "hula", "routescout", "blink", "silkroad", "netcache",
+    "flowradar", "netwarden", "inaggr", "int", "p4auth",
+}
+
+
+class TestRegistry:
+    def test_all_eleven_programs_registered(self):
+        assert set(program_names()) == EXPECTED_PROGRAMS
+        assert len(program_names()) == 11
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            get_entry("bmv2")
+
+    def test_every_entry_builds_a_program(self):
+        for entry in all_entries():
+            program = entry.program()
+            assert program.name == entry.name
+            assert program.stages, f"{entry.name} declares no stages"
+
+    def test_p4auth_entry_carries_reference(self):
+        entry = get_entry("p4auth")
+        assert entry.reference_pct is not None
+        reference = entry.reference_pct()
+        assert set(reference) == {"tcam_blocks", "sram_blocks",
+                                  "hash_units", "phv_containers"}
+
+
+class TestVerifyAll:
+    def test_every_registered_program_is_clean(self):
+        for entry in all_entries():
+            findings = cli.analyze_entry(entry)
+            assert findings == [], (
+                f"{entry.name}: " + "; ".join(f.render() for f in findings))
+
+    def test_cli_all_exits_zero(self, capsys):
+        assert main(["verify", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "11 program(s)" in out
+
+    def test_cli_default_is_all(self, capsys):
+        assert main(["verify"]) == 0
+        assert "11 program(s)" in capsys.readouterr().out
+
+    def test_cli_subset(self, capsys):
+        assert main(["verify", "p4auth", "hula"]) == 0
+        assert "2 program(s)" in capsys.readouterr().out
+
+    def test_cli_json_format(self, capsys):
+        assert main(["verify", "p4auth", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["findings"] == []
+
+
+class TestExitCodes:
+    def test_unknown_program_exits_2(self, capsys):
+        assert main(["verify", "nosuch"]) == 2
+        assert "unknown program" in capsys.readouterr().out
+
+    def test_error_findings_exit_1(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            cli, "analyze_entry",
+            lambda entry: [make_finding("TAINT001", entry.name, "leak")])
+        assert cli.cmd_verify(["p4auth"]) == 1
+        out = capsys.readouterr().out
+        assert "TAINT001" in out
+        assert "1 error(s)" in out
+
+    def test_warning_findings_exit_0(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            cli, "analyze_entry",
+            lambda entry: [make_finding("RES002", entry.name, "hot")])
+        assert cli.cmd_verify(["p4auth"]) == 0
+        assert "WARNING" in capsys.readouterr().out
+
+
+class TestAuxModes:
+    def test_list_prints_registry(self, capsys):
+        assert main(["verify", "--list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == EXPECTED_PROGRAMS
+
+    def test_selftest_passes(self, capsys):
+        assert main(["verify", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest: OK" in out
+        assert "MISSED" not in out
+
+    def test_selftest_json(self, capsys):
+        assert main(["verify", "--selftest", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert len(doc["mutants"]) == 4

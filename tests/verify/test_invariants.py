@@ -1,0 +1,144 @@
+"""Pipeline invariants: defaults, stage hazards, validity, wire widths."""
+
+from repro.core.wire import wire_header_layouts
+from repro.verify.invariants import analyze_invariants
+from repro.verify.ir import (
+    ApplyTable,
+    Const,
+    FieldRef,
+    HeaderDecl,
+    Program,
+    RegRead,
+    RegReadModifyWrite,
+    RegWrite,
+    RegisterDecl,
+    RequireValid,
+    SetField,
+    StageDecl,
+    TableDecl,
+)
+
+
+def make_program(stages, tables=(), headers=(), registers=()):
+    program = Program("inv")
+    program.stages = list(stages)
+    program.tables = list(tables)
+    program.headers = list(headers)
+    program.registers = list(registers)
+    return program
+
+
+def rules(program):
+    return [f.rule for f in analyze_invariants(program)]
+
+
+class TestDefaults:
+    def test_missing_default_fires_inv001(self):
+        program = make_program(
+            [], tables=[TableDecl("t", key_bits=8, entries=4,
+                                  has_default=False)])
+        assert rules(program) == ["INV001"]
+
+    def test_undeclared_apply_fires_inv001(self):
+        program = make_program(
+            [StageDecl("s", (ApplyTable("ghost", (Const(1),)),))])
+        assert rules(program) == ["INV001"]
+
+    def test_declared_table_with_default_is_clean(self):
+        program = make_program(
+            [StageDecl("s", (ApplyTable("t", (Const(1),)),))],
+            tables=[TableDecl("t", key_bits=8, entries=4)])
+        assert rules(program) == []
+
+
+class TestStageHazards:
+    def test_read_after_write_same_stage_fires_inv002(self):
+        ops = (RegWrite("r", Const(0), Const(1)),
+               RegRead("r", Const(0), "x"))
+        program = make_program([StageDecl("s", ops)],
+                               registers=[RegisterDecl("r", 32, 4)])
+        assert rules(program) == ["INV002"]
+
+    def test_rmw_is_atomic_and_exempt(self):
+        ops = (RegReadModifyWrite("r", Const(0), Const(1), "x"),)
+        program = make_program([StageDecl("s", ops)],
+                               registers=[RegisterDecl("r", 32, 4)])
+        assert rules(program) == []
+
+    def test_plain_read_after_rmw_still_trips(self):
+        ops = (RegReadModifyWrite("r", Const(0), Const(1), "x"),
+               RegRead("r", Const(0), "y"))
+        program = make_program([StageDecl("s", ops)],
+                               registers=[RegisterDecl("r", 32, 4)])
+        assert rules(program) == ["INV002"]
+
+    def test_write_then_read_across_stages_is_clean(self):
+        program = make_program(
+            [StageDecl("s1", (RegWrite("r", Const(0), Const(1)),)),
+             StageDecl("s2", (RegRead("r", Const(0), "x"),))],
+            registers=[RegisterDecl("r", 32, 4)])
+        assert rules(program) == []
+
+
+class TestValidity:
+    def test_field_access_without_guard_fires_inv003(self):
+        program = make_program(
+            [StageDecl("s", (SetField("h", "f", Const(1)),))],
+            headers=[HeaderDecl("h", (("f", 8),))])
+        assert rules(program) == ["INV003"]
+
+    def test_guard_covers_later_stages(self):
+        program = make_program(
+            [StageDecl("s1", (RequireValid("h"),)),
+             StageDecl("s2", (SetField("h", "f", Const(1)),))],
+            headers=[HeaderDecl("h", (("f", 8),))])
+        assert rules(program) == []
+
+    def test_read_refs_need_guards_too(self):
+        ops = (RegWrite("r", Const(0), FieldRef("h", "f")),)
+        program = make_program([StageDecl("s", ops)],
+                               headers=[HeaderDecl("h", (("f", 8),))],
+                               registers=[RegisterDecl("r", 32, 4)])
+        assert rules(program) == ["INV003"]
+
+
+class TestWireAgreement:
+    def test_matching_wire_layout_is_clean(self):
+        layout = wire_header_layouts()["p4auth"]
+        program = make_program(
+            [], headers=[HeaderDecl("p4auth", tuple(layout.fields))])
+        assert rules(program) == []
+
+    def test_diverging_wire_layout_fires_inv004(self):
+        program = make_program(
+            [], headers=[HeaderDecl("p4auth", (("digest", 64),))])
+        assert rules(program) == ["INV004"]
+
+    def test_non_wire_headers_are_not_checked(self):
+        program = make_program(
+            [], headers=[HeaderDecl("my_probe", (("x", 8),))])
+        assert rules(program) == []
+
+
+class TestConstWidths:
+    def test_oversized_field_constant_fires_inv005(self):
+        program = make_program(
+            [StageDecl("s", (RequireValid("h"),
+                             SetField("h", "f", Const(0x1FF)),))],
+            headers=[HeaderDecl("h", (("f", 8),))])
+        assert rules(program) == ["INV005"]
+
+    def test_oversized_register_constant_fires_inv005(self):
+        ops = (RegWrite("r", Const(0), Const(1 << 40)),)
+        program = make_program([StageDecl("s", ops)],
+                               registers=[RegisterDecl("r", 32, 4)])
+        assert rules(program) == ["INV005"]
+
+    def test_fitting_constants_are_clean(self):
+        program = make_program(
+            [StageDecl("s", (RequireValid("h"),
+                             SetField("h", "f", Const(0xFF)),
+                             RegWrite("r", Const(0), Const(0xFFFFFFFF)),))],
+            headers=[HeaderDecl("h", (("f", 8),))],
+            registers=[RegisterDecl("r", 32, 4)])
+        assert rules(program) == []

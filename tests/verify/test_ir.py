@@ -1,0 +1,87 @@
+"""Verify IR: expressions, declarations, program walks."""
+
+import pytest
+
+from repro.verify.ir import (
+    ApplyTable,
+    BinOp,
+    Const,
+    EmitPacket,
+    FieldRef,
+    HashDigest,
+    HeaderDecl,
+    MetaRef,
+    Program,
+    RegRead,
+    RegWrite,
+    RegisterDecl,
+    SetField,
+    StageDecl,
+    TableDecl,
+    field_refs,
+    meta_refs,
+    op_input_exprs,
+    walk_expr,
+)
+
+
+class TestExpressions:
+    def test_binop_rejects_unknown_alu_op(self):
+        with pytest.raises(ValueError):
+            BinOp("mul", (Const(1), Const(2)))  # PISA ALUs can't multiply
+
+    def test_walk_expr_preorder(self):
+        expr = BinOp("add", (FieldRef("h", "f"),
+                             BinOp("xor", (MetaRef("m"), Const(1)))))
+        kinds = [type(e).__name__ for e in walk_expr(expr)]
+        assert kinds == ["BinOp", "FieldRef", "BinOp", "MetaRef", "Const"]
+
+    def test_ref_extractors(self):
+        expr = BinOp("concat", (FieldRef("a", "x"), MetaRef("m"),
+                                FieldRef("b", "y")))
+        assert [(r.header, r.field) for r in field_refs(expr)] == \
+            [("a", "x"), ("b", "y")]
+        assert [r.name for r in meta_refs(expr)] == ["m"]
+
+
+class TestDeclarations:
+    def test_header_widths(self):
+        header = HeaderDecl("h", (("a", 8), ("b", 24)))
+        assert header.bit_width == 32
+        assert header.field_bits("b") == 24
+        assert header.field_bits("missing") is None
+
+    def test_program_lookups(self):
+        program = Program("p")
+        program.registers = [RegisterDecl("r", 32, 4, secret=True)]
+        program.tables = [TableDecl("t", key_bits=16, entries=8)]
+        program.headers = [HeaderDecl("h", (("f", 8),))]
+        assert program.register("r").secret
+        assert program.table("t").entries == 8
+        assert program.header("h").bit_width == 8
+        assert program.register("nope") is None
+        assert program.secret_registers() == ["r"]
+
+
+class TestProgramWalk:
+    def test_ops_flat_walk_keeps_stage_order(self):
+        program = Program("p")
+        op_a = RegRead("r", Const(0), "x")
+        op_b = RegWrite("r", Const(0), MetaRef("x"))
+        op_c = EmitPacket(("h",))
+        program.stages = [StageDecl("s1", (op_a, op_b)),
+                          StageDecl("s2", (op_c,))]
+        assert program.ops() == [("s1", 0, op_a), ("s1", 1, op_b),
+                                 ("s2", 0, op_c)]
+
+    def test_op_input_exprs_cover_reads(self):
+        key = FieldRef("h", "f")
+        assert op_input_exprs(ApplyTable("t", (key,))) == (key,)
+        read = RegRead("r", MetaRef("i"), "dst")
+        assert op_input_exprs(read) == (MetaRef("i"),)
+        write = RegWrite("r", Const(0), MetaRef("v"))
+        assert op_input_exprs(write) == (Const(0), MetaRef("v"))
+        digest = HashDigest("d", (key, MetaRef("k")))
+        assert op_input_exprs(digest) == (key, MetaRef("k"))
+        setf = SetField("h", "f", MetaRef("v"))
+        assert op_input_exprs(setf) == (MetaRef("v"),)

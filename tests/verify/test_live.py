@@ -1,0 +1,133 @@
+"""Live cross-checker: declared IR vs installed switch objects."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.systems.l3fwd import build_verify_switch, verify_program
+from repro.verify.live import analyze_live
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestAgreement:
+    def test_l3fwd_declaration_matches_its_switch(self):
+        assert analyze_live(verify_program(), build_verify_switch()) == []
+
+    def test_p4auth_declaration_matches_reference_switch(self):
+        from repro.core.auth_ir import build_reference_switch, \
+            p4auth_program
+        assert analyze_live(p4auth_program(),
+                            build_reference_switch()) == []
+
+
+class TestRegisterDivergence:
+    def test_declared_register_missing_live_fires_live001(self):
+        from repro.verify.ir import RegisterDecl
+        program = verify_program()
+        program.registers.append(RegisterDecl("phantom", 32, 4))
+        findings = analyze_live(program, build_verify_switch())
+        assert rules(findings) == ["LIVE001"]
+        assert findings[0].subject == "phantom"
+
+    def test_live_register_not_declared_fires_live001(self):
+        program = verify_program()
+        switch = build_verify_switch()
+        switch.registers.define("stowaway", 8, 2)
+        assert rules(analyze_live(program, switch)) == ["LIVE001"]
+
+    def test_width_mismatch_fires_live001(self):
+        program = verify_program()
+        program.registers = [
+            replace(r, width_bits=r.width_bits * 2)
+            if r.name == "flow_stats" else r
+            for r in program.registers
+        ]
+        findings = analyze_live(program, build_verify_switch())
+        assert rules(findings) == ["LIVE001"]
+        assert "flow_stats" in findings[0].message
+
+    def test_secret_flag_disagreement_fires_live001(self):
+        # flow_stats is not in core.secrets, so flagging it secret in the
+        # IR must be rejected — secrecy is centralized, not ad hoc.
+        program = verify_program()
+        program.registers = [
+            replace(r, secret=True) if r.name == "flow_stats" else r
+            for r in program.registers
+        ]
+        findings = analyze_live(program, build_verify_switch())
+        assert "LIVE001" in rules(findings)
+        assert any("secret flag" in f.message for f in findings)
+
+
+class TestTableDivergence:
+    def test_key_bits_mismatch_fires_live001(self):
+        program = verify_program()
+        program.tables = [
+            replace(t, key_bits=99) if t.name == "ipv4_lpm" else t
+            for t in program.tables
+        ]
+        findings = analyze_live(program, build_verify_switch())
+        assert rules(findings) == ["LIVE001"]
+        assert "key_bits" in findings[0].message
+
+    def test_entries_are_deliberately_not_compared(self):
+        # max_entries is allocation policy, not Table II sizing; a
+        # different count must NOT trip the live diff.
+        program = verify_program()
+        program.tables = [
+            replace(t, entries=7) if t.name == "ipv4_lpm" else t
+            for t in program.tables
+        ]
+        assert analyze_live(program, build_verify_switch()) == []
+
+    def test_declared_table_missing_live_fires_live001(self):
+        from repro.verify.ir import TableDecl
+        program = verify_program()
+        program.tables.append(TableDecl("ghost", key_bits=8, entries=4))
+        assert rules(analyze_live(program, build_verify_switch())) == \
+            ["LIVE001"]
+
+
+class TestStageDivergence:
+    def test_missing_stage_fires_live001_when_checked(self):
+        from repro.verify.ir import StageDecl
+        program = verify_program()
+        program.stages.append(StageDecl("imaginary", ()))
+        findings = analyze_live(program, build_verify_switch(),
+                                check_stages=True)
+        assert rules(findings) == ["LIVE001"]
+
+    def test_check_stages_false_skips_stage_diff(self):
+        from repro.verify.ir import StageDecl
+        program = verify_program()
+        program.stages.append(StageDecl("imaginary", ()))
+        assert analyze_live(program, build_verify_switch(),
+                            check_stages=False) == []
+
+    def test_flowradar_has_no_live_stage_by_design(self):
+        from repro.systems import flowradar
+        program = flowradar.verify_program()
+        switch = flowradar.build_verify_switch()
+        assert analyze_live(program, switch, check_stages=False) == []
+
+
+class TestMappingExposure:
+    def test_smuggled_secret_mapping_fires_live002(self):
+        from repro.core.auth_ir import p4auth_program
+        from repro.verify.mutants import _smuggled_mapping_switch
+        findings = analyze_live(p4auth_program(),
+                                _smuggled_mapping_switch())
+        assert rules(findings) == ["LIVE002"]
+        assert findings[0].subject == "p4auth_kauth"
+
+    def test_install_guard_still_refuses_direct_mapping(self):
+        # The static rule backstops a live guard; both must hold.
+        from repro.core.auth_dataplane import P4AuthDataplane
+        from repro.dataplane.switch import DataplaneSwitch
+        switch = DataplaneSwitch("guard", 2)
+        auth = P4AuthDataplane(switch, k_seed=1).install()
+        with pytest.raises(PermissionError):
+            auth.map_register("p4auth_kauth")

@@ -1,0 +1,110 @@
+"""Resource linter: budgets, watermark, and Table II agreement."""
+
+from repro.dataplane.resources import TCAM_BLOCKS
+from repro.verify.ir import HashDecl, HeaderDecl, Program, RegisterDecl, \
+    TableDecl
+from repro.verify.resources_lint import (
+    CAPACITIES,
+    REFERENCE_TOLERANCE_PCT,
+    analyze_resources,
+    spec_from_program,
+    static_usage,
+    static_utilization_pct,
+)
+
+
+def small_program():
+    program = Program("small")
+    program.tables = [TableDecl("t", key_bits=32, entries=1024,
+                                match_kind="exact")]
+    program.registers = [RegisterDecl("r", 32, 1024)]
+    program.hashes = [HashDecl("h", 2)]
+    program.headers = [HeaderDecl("eth", (("dst", 48), ("src", 48)))]
+    return program
+
+
+class TestPricing:
+    def test_spec_lowering_prices_like_the_dynamic_model(self):
+        spec = spec_from_program(small_program())
+        usage = static_usage(small_program())
+        assert usage["tcam_blocks"] == spec.tcam_blocks() == 0
+        assert usage["sram_blocks"] == spec.sram_blocks()
+        assert usage["hash_units"] == spec.hash_units()
+        assert usage["phv_containers"] == spec.phv_containers() == 3
+
+    def test_lpm_and_ternary_price_tcam(self):
+        program = small_program()
+        program.tables.append(TableDecl("route", key_bits=32, entries=512,
+                                        match_kind="lpm"))
+        assert static_usage(program)["tcam_blocks"] > 0
+
+    def test_utilization_pct_keys_match_capacities(self):
+        pct = static_utilization_pct(small_program())
+        assert set(pct) == set(CAPACITIES)
+        assert all(0.0 <= v <= 100.0 for v in pct.values())
+
+
+class TestBudgetRules:
+    def test_small_program_is_clean(self):
+        assert analyze_resources(small_program()) == []
+
+    def test_over_capacity_fires_res001(self):
+        program = small_program()
+        program.tables.append(TableDecl(
+            "huge", key_bits=512, entries=1_000_000,
+            match_kind="ternary"))
+        findings = analyze_resources(program)
+        assert any(f.rule == "RES001" and f.subject == "tcam_blocks"
+                   for f in findings)
+
+    def test_watermark_fires_res002_not_res001(self):
+        program = small_program()
+        # 44-bit ternary key: 1 TCAM block per 512 entries; target ~87%.
+        entries = 512 * int(TCAM_BLOCKS * 0.87)
+        program.tables.append(TableDecl(
+            "wide", key_bits=44, entries=entries, match_kind="ternary"))
+        rules = [f.rule for f in analyze_resources(program)
+                 if f.subject == "tcam_blocks"]
+        assert rules == ["RES002"]
+
+
+class TestReferenceDiff:
+    def test_agreeing_reference_is_clean(self):
+        program = small_program()
+        reference = static_utilization_pct(program)
+        assert analyze_resources(program, reference_pct=reference) == []
+
+    def test_divergence_beyond_tolerance_fires_res003(self):
+        program = small_program()
+        reference = static_utilization_pct(program)
+        reference["sram_blocks"] += REFERENCE_TOLERANCE_PCT * 3
+        findings = analyze_resources(program, reference_pct=reference)
+        assert [f.rule for f in findings] == ["RES003"]
+        assert findings[0].subject == "sram_blocks"
+
+    def test_divergence_within_tolerance_is_clean(self):
+        program = small_program()
+        reference = static_utilization_pct(program)
+        reference["sram_blocks"] += REFERENCE_TOLERANCE_PCT * 0.5
+        assert analyze_resources(program, reference_pct=reference) == []
+
+
+class TestTable2Agreement:
+    def test_static_p4auth_totals_match_dynamic_reference(self):
+        """The acceptance bar: IR-derived utilization equals the dynamic
+        Table II numbers within the documented 0.5 pct-pt tolerance."""
+        from repro.core.auth_ir import p4auth_program, \
+            reference_utilization_pct
+        static = static_utilization_pct(p4auth_program())
+        reference = reference_utilization_pct()
+        assert set(reference) <= set(static)
+        for resource, expected in reference.items():
+            assert abs(static[resource] - expected) <= \
+                REFERENCE_TOLERANCE_PCT, resource
+
+    def test_p4auth_reference_diff_clean_end_to_end(self):
+        from repro.core.auth_ir import p4auth_program, \
+            reference_utilization_pct
+        assert analyze_resources(
+            p4auth_program(),
+            reference_pct=reference_utilization_pct()) == []
