@@ -142,6 +142,10 @@ class P4AuthDataplane:
         self.mapping_table.set_default("reg_op_miss")
         switch.add_table(self.mapping_table)
 
+        # Host-CPU memo for derived session-key families (see
+        # :meth:`_session_keys`; modeled hash-unit charges unchanged).
+        self._session_cache: Dict[int, object] = {}
+
         # Per-operation scratch (models PHV metadata within one packet).
         self._op_index = 0
         self._op_value = 0
@@ -411,8 +415,22 @@ class P4AuthDataplane:
                           key_ver=hdr["keyVer"])
 
     def _session_keys(self, key_ver: int):
-        """Session-key family for the local key at a given version."""
-        return derive_session_keys(self.keys.local_key(key_ver))
+        """Session-key family for the local key at a given version.
+
+        Memoized by master-key value (a rolled key misses and re-derives).
+        This saves host CPU only: callers still charge the KDF to the
+        hash extern per packet, because the modeled PISA pipeline runs
+        every stage for every packet — batched ingress stays per-packet
+        and the wire format is untouched.
+        """
+        master = self.keys.local_key(key_ver)
+        cached = self._session_cache.get(master)
+        if cached is None:
+            cached = derive_session_keys(master)
+            if len(self._session_cache) >= 16:
+                self._session_cache.clear()
+            self._session_cache[master] = cached
+        return cached
 
     def _respond_reg(self, ctx: PipelineContext, ok: bool, payload, seq: int,
                      value: int, encrypted: bool = False,

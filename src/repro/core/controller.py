@@ -138,6 +138,12 @@ class P4AuthController:
         self._seq: Dict[str, int] = {}
         self._pending: Dict[Tuple[str, int], _Pending] = {}
         self._reg_ids: Dict[str, Dict[str, int]] = {}
+        # Session-key fast path: ``derive_session_keys`` is a pure
+        # function of the master key, so one derivation per live
+        # (switch, key_ver) key serves a whole batch of encrypted
+        # requests.  Keyed by master-key *value*: a rolled key gets a
+        # fresh entry automatically and a stale one can never be reused.
+        self._session_cache: Dict[int, object] = {}
         self.dataplanes: Dict[str, P4AuthDataplane] = {}
         network.attach_controller(self)
         # Constructed here to avoid exposing two objects users must wire up.
@@ -190,6 +196,18 @@ class P4AuthController:
         self._seq[switch] = (seq + 1) & 0xFFFFFFFF
         return seq
 
+    def _session_keys(self, switch: str, key_ver: int):
+        """Session-key family for a switch's local key at ``key_ver``,
+        memoized across a batch (see ``_session_cache``)."""
+        master = self.keys.local_key(switch, key_ver)
+        cached = self._session_cache.get(master)
+        if cached is None:
+            cached = derive_session_keys(master)
+            if len(self._session_cache) >= 1024:
+                self._session_cache.clear()
+            self._session_cache[master] = cached
+        return cached
+
     # ------------------------------------------------------------------
     # authenticated register operations (Fig 8)
     # ------------------------------------------------------------------
@@ -224,7 +242,7 @@ class P4AuthController:
         key_ver = self.keys.local_key_version(switch)
         plain_value = value
         if self.encrypt_regops:
-            session = derive_session_keys(self.keys.local_key(switch, key_ver))
+            session = self._session_keys(switch, key_ver)
             value = encrypt_value(session, seq, value)
         request = build_reg_write_request(
             self.register_id(switch, reg_name), index, value, seq,
@@ -356,8 +374,7 @@ class P4AuthController:
         ok = hdr["msgType"] == RegOpType.ACK
         value = packet.get(REG_OP)["value"]
         if hdr["flags"] & FLAG_ENCRYPTED:
-            session = derive_session_keys(
-                self.keys.local_key(switch, hdr["keyVer"]))
+            session = self._session_keys(switch, hdr["keyVer"])
             value = encrypt_value(session, seq, value, response=True)
         if ok:
             self.stats.acks_received += 1

@@ -158,7 +158,9 @@ class KeyManagementProtocol:
         delay = min(delay, self.max_backoff_s)
         if attempt > 1 and self.backoff_jitter > 0:
             delay *= 1.0 + self.backoff_jitter * self._backoff_prng.uniform()
-        return delay
+        # The jitter multiplier applies before the ceiling, never above it:
+        # ``max_backoff_s`` is a hard bound, not a pre-jitter target.
+        return min(delay, self.max_backoff_s)
 
     # ------------------------------------------------------------------
     # dataplane instrumentation (called from controller.provision)

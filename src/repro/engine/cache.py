@@ -28,15 +28,29 @@ class ResultCache:
         self.root = root
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries deleted on read failure (see :meth:`get`).
+        self.evictions = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
     def get(self, key: str) -> Optional[Any]:
+        path = self._path(key)
         try:
-            with open(self._path(key), "r") as handle:
+            with open(path, "r") as handle:
                 result = json.load(handle)
-        except (OSError, ValueError):
+        except ValueError:
+            # A corrupt entry (truncated write, disk fault) would otherwise
+            # be re-read and re-fail on every future run: evict it so the
+            # next ``put`` rebuilds a clean copy.
+            self.misses += 1
+            self.evictions += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        except OSError:
             self.misses += 1
             return None
         self.hits += 1
@@ -59,7 +73,13 @@ class ResultCache:
             raise
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps orphaned ``*.tmp`` files a crashed writer may have
+        left behind (``put`` cleans up after itself on failure, but a
+        SIGKILL between mkstemp and rename cannot).  Orphans do not count
+        toward the returned entry total.
+        """
         removed = 0
         if not os.path.isdir(self.root):
             return removed
@@ -68,6 +88,11 @@ class ResultCache:
                 if filename.endswith(".json"):
                     os.unlink(os.path.join(dirpath, filename))
                     removed += 1
+                elif filename.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(dirpath, filename))
+                    except OSError:
+                        pass
         return removed
 
 

@@ -28,6 +28,7 @@ CATALOG_MODULES = (
     "repro.experiments.table2_resources",
     "repro.experiments.table3_scalability",
     "repro.experiments.attack2_aggregation",
+    "repro.experiments.cdp_batch",
     "repro.experiments.fct_inflation",
     "repro.experiments.int_manipulation",
     "repro.runtime.comparison",

@@ -19,15 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-import networkx as nx
-
 from repro.core.auth_dataplane import P4AuthDataplane
 from repro.core.controller import P4AuthController
 from repro.dataplane.switch import DataplaneSwitch
 from repro.engine.registry import register
 from repro.engine.spec import ExperimentSpec, TrialContext
-from repro.net.network import Network
-from repro.net.simulator import EventSimulator
+from repro.net.topology import random_regular_fabric
 
 
 @dataclass
@@ -61,27 +58,20 @@ def formulas(m: int, n: int) -> Dict[str, int]:
 
 def build_regular_network(m: int = 25, degree: int = 4,
                           seed: int = 1) -> tuple:
-    """An m-switch network whose topology is a random d-regular graph
+    """An m-switch P4Auth deployment on the shared random-regular fabric
     (m=25, d=4 gives exactly the paper's n=50 links)."""
-    graph = nx.random_regular_graph(degree, m, seed=seed)
-    sim = EventSimulator()
-    net = Network(sim)
-    dataplanes = {}
-    next_port: Dict[str, int] = {}
-    for node in sorted(graph.nodes):
-        name = f"sw{node}"
-        switch = DataplaneSwitch(name, num_ports=degree, seed=seed + node)
-        net.add_switch(switch)
-        dataplanes[name] = P4AuthDataplane(switch,
-                                           k_seed=0x1000 + node).install()
-        next_port[name] = 1
-    for a, b in sorted(graph.edges):
-        name_a, name_b = f"sw{a}", f"sw{b}"
-        net.connect(name_a, next_port[name_a], name_b, next_port[name_b])
-        next_port[name_a] += 1
-        next_port[name_b] += 1
+
+    def factory(name: str, num_ports: int) -> DataplaneSwitch:
+        node = int(name[2:])  # fabric names switches "sw<i>"
+        return DataplaneSwitch(name, num_ports=num_ports, seed=seed + node)
+
+    net, extras = random_regular_fabric(m, degree, seed, factory=factory)
+    sim, graph = extras["sim"], extras["graph"]
     controller = P4AuthController(net)
-    for dataplane in dataplanes.values():
+    for name in extras["switches"]:
+        node = int(name[2:])
+        dataplane = P4AuthDataplane(net.switch(name),
+                                    k_seed=0x1000 + node).install()
         controller.provision(dataplane)
     return sim, net, controller, graph
 

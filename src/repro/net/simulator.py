@@ -65,8 +65,14 @@ class EventSimulator:
         #: Events that were still eligible to run when an event budget
         #: (``max_events``) was exhausted.  They stay queued — this counts
         #: budget starvation, not loss — but before this counter existed
-        #: such stalls were invisible.
+        #: such stalls were invisible.  Each event is counted at most once
+        #: across repeated exhausted ``run()`` calls (see ``_deferred_seen``).
         self.events_dropped = 0
+        # Sequence numbers of queued events already tallied in
+        # ``events_dropped``; without this, every budget-exhausted run()
+        # would re-count the same still-queued events and inflate the
+        # starvation counter.  Entries are discarded as events execute.
+        self._deferred_seen: set = set()
         #: Number of ``run()`` calls that exhausted their event budget
         #: with eligible work remaining.
         self.budget_exhaustions = 0
@@ -115,10 +121,12 @@ class EventSimulator:
         wall_start = time.perf_counter()
         executed = 0
         while self._queue and executed < max_events:
-            at, _, fn, args = self._queue[0]
+            at, seq, fn, args = self._queue[0]
             if until is not None and at > until:
                 break
             heapq.heappop(self._queue)
+            if self._deferred_seen:
+                self._deferred_seen.discard(seq)
             self._now = at
             fn(*args)
             executed += 1
@@ -127,11 +135,11 @@ class EventSimulator:
             and (until is None or self._queue[0][0] <= until)
         )
         if budget_exhausted:
-            if until is None:
-                deferred = len(self._queue)
-            else:
-                deferred = sum(1 for event in self._queue
-                               if event[0] <= until)
+            fresh = [event[1] for event in self._queue
+                     if (until is None or event[0] <= until)
+                     and event[1] not in self._deferred_seen]
+            deferred = len(fresh)
+            self._deferred_seen.update(fresh)
             self.events_dropped += deferred
             self.budget_exhaustions += 1
         elif until is not None:

@@ -6,6 +6,9 @@
   S5 via three parallel paths through S2, S3, and S4.
 - :func:`leaf_spine` — a parameterized leaf-spine fabric for load-balancer
   scenarios beyond the paper's minimal topology.
+- :func:`random_regular_fabric` — an m-switch random d-regular graph, the
+  Table III fabric shape, scalable to the §XI production sizes
+  (m=100, m=400).
 
 All builders return ``(network, extras)`` where ``extras`` is a dict of
 the named nodes/ports a caller needs to run the experiment.
@@ -121,6 +124,41 @@ def leaf_spine(num_leaves: int = 4, num_spines: int = 2,
         "spines": spines,
         "hosts": hosts,
     }
+
+
+def random_regular_fabric(m: int, degree: int = 4, seed: int = 1,
+                          factory: Optional[SwitchFactory] = None,
+                          costs: Optional[CostModel] = None,
+                          telemetry=None
+                          ) -> Tuple[Network, Dict[str, object]]:
+    """An m-switch fabric wired as a random d-regular graph.
+
+    This is the Table III topology (m=25, d=4 gives exactly the paper's
+    n=50 links), parameterized so the batch-throughput experiments can
+    scale the same shape to m=100 and m=400.  Switch ``sw<i>`` gets
+    ``degree`` ports, assigned to incident edges in sorted-edge order
+    (ports 1..degree).  Node/edge iteration is sorted, so the wiring is a
+    pure function of ``(m, degree, seed)``.
+    """
+    if m <= degree:
+        raise ValueError("need m > degree for a d-regular graph")
+    factory = factory or _default_factory
+    graph = nx.random_regular_graph(degree, m, seed=seed)
+    sim = EventSimulator(telemetry=telemetry)
+    net = Network(sim, costs)
+    names = []
+    next_port: Dict[str, int] = {}
+    for node in sorted(graph.nodes):
+        name = f"sw{node}"
+        net.add_switch(factory(name, degree))
+        names.append(name)
+        next_port[name] = 1
+    for a, b in sorted(graph.edges):
+        name_a, name_b = f"sw{a}", f"sw{b}"
+        net.connect(name_a, next_port[name_a], name_b, next_port[name_b])
+        next_port[name_a] += 1
+        next_port[name_b] += 1
+    return net, {"sim": sim, "graph": graph, "switches": names}
 
 
 def as_graph(net: Network) -> "nx.Graph":

@@ -1,0 +1,254 @@
+"""Batched, pipelined C-DP request issue (the §XI scalability path).
+
+The paper's evaluation drives register operations one at a time: compose,
+send, wait a full controller round trip, repeat.  That shape is what
+Figs 18/19 measure, but a production controller driving hundreds of
+switches cannot afford one RTT of dead air per request.
+:class:`BatchController` is a *facade* over any register-access stack
+(:class:`~repro.core.controller.P4AuthController`,
+:class:`~repro.runtime.plain.PlainController`,
+:class:`~repro.runtime.p4runtime.P4RuntimeStack`) that keeps a
+configurable window of requests in flight per switch and lets requests
+to different switches proceed concurrently — windowed pipelining plus
+cross-switch coalescing.
+
+Crucially the facade changes *scheduling only*: every request still goes
+through the wrapped stack's ``read_register``/``write_register``, so the
+per-message wire format, the Eqn 4 digest rule, sequence numbering, and
+every verify/replay/DoS invariant are byte-for-byte those of the
+underlying stack.  A batched deployment is exactly as authenticated as a
+sequential one — it just stops waiting between messages.
+
+Ordering: requests to one switch are issued in submission order (the
+window never reorders the FIFO), so the data plane's monotonic
+``expected_seq`` replay defense sees in-order sequence numbers as long
+as the control channel itself is FIFO.  Requests to different switches
+share no ordering constraint — that independence is where the throughput
+comes from.
+
+Lossy channels: the facade frees a window slot only when the wrapped
+stack decides an outcome.  Stacks in fire-and-wait mode (no
+``request_timeout_s``) never decide one for a lost message, so enable
+bounded retries on the stack when batching over a lossy channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.telemetry import RCT_BUCKETS
+
+ResponseCallback = Callable[[bool, int], None]
+
+#: Buckets for the per-pump burst-size histogram (requests per refill).
+BURST_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class BatchSample:
+    """One completed request, as observed by the facade."""
+
+    kind: str  # "read" | "write"
+    switch: str
+    #: Submission -> completion (what a caller experiences, queueing
+    #: included).
+    rct_s: float
+    #: Time spent queued in the facade before the stack saw the request.
+    queued_s: float
+    ok: bool
+
+
+@dataclass
+class BatchStats:
+    submitted: int = 0
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Largest total in-flight population ever observed.
+    in_flight_high_water: int = 0
+    samples: List[BatchSample] = field(default_factory=list)
+
+
+@dataclass
+class _QueuedRequest:
+    kind: str
+    switch: str
+    reg_name: str
+    index: int
+    value: int
+    callback: Optional[ResponseCallback]
+    submitted_at: float
+    issued_at: float = 0.0
+
+
+class BatchController:
+    """Windowed pipelining facade over a register-access stack.
+
+    Parameters
+    ----------
+    stack:
+        Any object exposing ``read_register(switch, reg, index, cb)`` /
+        ``write_register(switch, reg, index, value, cb)`` with
+        completion callbacks and a ``sim`` attribute (all three runtime
+        stacks qualify).
+    max_in_flight:
+        Per-switch window: at most this many requests are outstanding
+        toward one switch at a time.  1 degenerates to the sequential
+        behavior of :func:`repro.runtime.harness.run_sequential`.
+    """
+
+    def __init__(self, stack, max_in_flight: int = 16):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.stack = stack
+        self.sim = stack.sim
+        self.max_in_flight = max_in_flight
+        self.stats = BatchStats()
+        self._queues: Dict[str, Deque[_QueuedRequest]] = {}
+        self._in_flight: Dict[str, int] = {}
+        self._in_flight_total = 0
+        telemetry = stack.network.telemetry
+        self.telemetry = telemetry
+        if telemetry.enabled:
+            self._gauge_in_flight = telemetry.metrics.gauge(
+                "batch_in_flight_requests")
+            self._gauge_queued = telemetry.metrics.gauge(
+                "batch_queued_requests")
+            self._hist_burst = telemetry.metrics.histogram(
+                "batch_burst_size", buckets=BURST_BUCKETS)
+            self._hist_rct = telemetry.metrics.histogram(
+                "batch_rct_seconds", buckets=RCT_BUCKETS)
+            self._counter_submitted = telemetry.metrics.counter(
+                "batch_requests_total")
+        else:
+            self._gauge_in_flight = None
+
+    # ------------------------------------------------------------------
+    # submission API (stack-compatible signatures)
+    # ------------------------------------------------------------------
+
+    def read_register(self, switch: str, reg_name: str, index: int,
+                      callback: Optional[ResponseCallback] = None) -> None:
+        """Queue an authenticated read; issued as the window allows."""
+        self._submit(_QueuedRequest("read", switch, reg_name, index, 0,
+                                    callback, self.sim.now))
+
+    def write_register(self, switch: str, reg_name: str, index: int,
+                       value: int,
+                       callback: Optional[ResponseCallback] = None) -> None:
+        """Queue an authenticated write; issued as the window allows."""
+        self._submit(_QueuedRequest("write", switch, reg_name, index, value,
+                                    callback, self.sim.now))
+
+    def broadcast_write(self, reg_name: str, index: int, value: int,
+                        switches: List[str],
+                        on_done: Optional[Callable[[Dict[str, bool]], None]]
+                        = None) -> None:
+        """Coalesce one logical write across many switches.
+
+        Queues the write on every named switch; all fan-out requests
+        share the window machinery (and therefore pipeline concurrently).
+        ``on_done(results)`` fires once every switch has a terminal
+        outcome, with ``results[switch] = ok``.
+        """
+        remaining = {"count": len(switches)}
+        results: Dict[str, bool] = {}
+        if not switches:
+            if on_done is not None:
+                on_done(results)
+            return
+        for switch in switches:
+            def finish(ok: bool, _value: int, sw: str = switch) -> None:
+                results[sw] = ok
+                remaining["count"] -= 1
+                if remaining["count"] == 0 and on_done is not None:
+                    on_done(results)
+            self.write_register(switch, reg_name, index, value, finish)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def in_flight(self, switch: Optional[str] = None) -> int:
+        if switch is not None:
+            return self._in_flight.get(switch, 0)
+        return self._in_flight_total
+
+    def queued(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return self._in_flight_total == 0 and self.queued() == 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _submit(self, request: _QueuedRequest) -> None:
+        self.stats.submitted += 1
+        if self.telemetry.enabled:
+            self._counter_submitted.inc()
+        self._queues.setdefault(request.switch, deque()).append(request)
+        self._pump(request.switch)
+
+    def _pump(self, switch: str) -> None:
+        """Refill the switch's window from its FIFO queue."""
+        queue = self._queues.get(switch)
+        if not queue:
+            return
+        burst = 0
+        while queue and self._in_flight.get(switch, 0) < self.max_in_flight:
+            request = queue.popleft()
+            self._issue(request)
+            burst += 1
+        if burst and self.telemetry.enabled:
+            self._hist_burst.observe(burst)
+            self._gauge_in_flight.set(self._in_flight_total)
+            self._gauge_queued.set(self.queued())
+
+    def _issue(self, request: _QueuedRequest) -> None:
+        switch = request.switch
+        self._in_flight[switch] = self._in_flight.get(switch, 0) + 1
+        self._in_flight_total += 1
+        if self._in_flight_total > self.stats.in_flight_high_water:
+            self.stats.in_flight_high_water = self._in_flight_total
+        self.stats.issued += 1
+        request.issued_at = self.sim.now
+
+        def complete(ok: bool, value: int) -> None:
+            self._on_complete(request, ok, value)
+
+        if request.kind == "read":
+            self.stack.read_register(switch, request.reg_name,
+                                     request.index, complete)
+        else:
+            self.stack.write_register(switch, request.reg_name,
+                                      request.index, request.value, complete)
+
+    def _on_complete(self, request: _QueuedRequest, ok: bool,
+                     value: int) -> None:
+        switch = request.switch
+        self._in_flight[switch] -= 1
+        self._in_flight_total -= 1
+        self.stats.completed += 1
+        if not ok:
+            self.stats.failed += 1
+        now = self.sim.now
+        rct = now - request.submitted_at
+        self.stats.samples.append(BatchSample(
+            request.kind, switch, rct,
+            request.issued_at - request.submitted_at, ok,
+        ))
+        if self.telemetry.enabled:
+            self._hist_rct.observe(rct)
+            self._gauge_in_flight.set(self._in_flight_total)
+        if request.callback is not None:
+            request.callback(ok, value)
+        self._pump(switch)
+
+
+__all__ = ["BURST_BUCKETS", "BatchController", "BatchSample", "BatchStats"]

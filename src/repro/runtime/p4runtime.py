@@ -49,10 +49,16 @@ class P4RuntimeStack:
         self.requests_abandoned = 0
         self._switches: Dict[str, DataplaneSwitch] = {}
         self._seq = 1
+        self._outstanding = 0
         self.rct_samples = []  # (kind, rct_s, ok)
 
     def provision(self, switch: DataplaneSwitch) -> None:
         self._switches[switch.name] = switch
+
+    def outstanding_count(self) -> int:
+        """Requests issued whose outcome (completion, loss, abandonment)
+        has not yet been decided — the stack's true in-flight load."""
+        return self._outstanding
 
     def read_register(self, switch: str, reg_name: str, index: int,
                       callback: Optional[ResponseCallback] = None) -> int:
@@ -70,6 +76,7 @@ class P4RuntimeStack:
                compose_cost: float, attempt: int = 1) -> int:
         seq = self._seq
         self._seq += 1
+        self._outstanding += 1
         sent_at = self.sim.now
         # Compose + gRPC/P4Runtime server overhead, then one C-DP transit.
         request_delay = (compose_cost + self.costs.p4runtime_overhead_s
@@ -82,6 +89,7 @@ class P4RuntimeStack:
               value: int, seq: int, callback: Optional[ResponseCallback],
               attempt: int) -> None:
         """A request or response died inside the switch OS."""
+        self._outstanding -= 1
         if self.request_timeout_s is None:
             return  # legacy: times out silently
         if attempt >= self.max_request_attempts:
@@ -152,6 +160,7 @@ class P4RuntimeStack:
 
     def _complete(self, kind: str, response, sent_at: float,
                   callback: Optional[ResponseCallback]) -> None:
+        self._outstanding -= 1
         ctl = response.get("ctl")
         ok = ctl["msgType"] == RegOpType.ACK
         value = response.get(REG_OP)["value"]

@@ -165,6 +165,11 @@ class PlainController:
         self._seq[switch] = (seq + 1) & 0xFFFFFFFF
         return seq
 
+    def outstanding_count(self) -> int:
+        """Requests sent but not yet answered (uniform across stacks, so
+        batching facades can gauge true in-flight load)."""
+        return len(self._pending)
+
     def read_register(self, switch: str, reg_name: str, index: int,
                       callback: Optional[ResponseCallback] = None) -> int:
         return self._issue(RegOpType.READ_REQ, "read", switch, reg_name,

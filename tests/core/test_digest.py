@@ -86,6 +86,60 @@ def test_verify_counters():
     assert engine.computed == 3  # sign + 2 verifies
 
 
+class TestKeyStateFastPath:
+    """The batch fast path: one schedule derivation per key, bit-identical
+    tags, and no effect on the extern (data-plane) digest path."""
+
+    def test_batch_under_one_key_derives_the_schedule_once(self):
+        engine = DigestEngine()
+        for seq in range(1, 33):
+            message = build_reg_write_request(1, 0, 0x10 + seq, seq)
+            engine.sign(KEY, message)
+            assert engine.verify(KEY, message)
+        assert engine.key_state_misses == 1
+        assert engine.key_state_hits == 63  # 32 signs + 32 verifies - 1 miss
+
+    def test_cached_and_cold_engines_agree(self):
+        warm = DigestEngine()
+        warm.compute(KEY, build_reg_write_request(1, 0, 1, 1))  # prime
+        cold = DigestEngine()
+        for seq in (1, 7, 0xFFFFFFFF):
+            message = build_reg_write_request(2, 3, 0xCAFE, seq)
+            assert warm.compute(KEY, message) == cold.compute(KEY, message)
+
+    def test_rolled_key_is_a_cache_miss_not_a_stale_hit(self):
+        engine = DigestEngine()
+        message = build_reg_write_request(1, 0, 1, 1)
+        old = engine.compute(KEY, message)
+        new = engine.compute(KEY ^ 0xFF, message)
+        assert old != new
+        assert engine.key_state_misses == 2
+
+    def test_cache_bound_resets_instead_of_growing(self):
+        engine = DigestEngine()
+        message = build_reg_write_request(1, 0, 1, 1)
+        for i in range(engine.KEY_CACHE_MAX + 8):
+            engine.compute(i, message)
+        assert len(engine._key_states) <= engine.KEY_CACHE_MAX
+
+    def test_extern_engines_bypass_the_cache(self):
+        extern = HashExtern("halfsiphash")
+        engine = DigestEngine(extern=extern)
+        for seq in (1, 2, 3):
+            engine.compute(KEY, build_reg_write_request(1, 0, 1, seq))
+        # Every data-plane digest still hits the hash unit (the modeled
+        # PISA pipeline runs every stage for every packet).
+        assert extern.invocations == 3
+        assert engine.key_state_hits == engine.key_state_misses == 0
+
+    def test_crc_flavor_is_unaffected(self):
+        engine = DigestEngine(algorithm="crc32")
+        message = build_reg_write_request(1, 0, 1, 1)
+        first = engine.compute(KEY, message)
+        assert engine.compute(KEY, message) == first
+        assert engine.key_state_hits == engine.key_state_misses == 0
+
+
 @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
        st.integers(min_value=0, max_value=(1 << 64) - 1),
        st.integers(min_value=0, max_value=(1 << 32) - 1))

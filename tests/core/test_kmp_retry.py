@@ -164,3 +164,40 @@ class TestDeadPeer:
         assert not dep.controller.kmp._by_port
         failures = {f.switch for f in dep.controller.kmp.stats.failures}
         assert failures == {"s2"}
+
+
+class TestBackoffCeiling:
+    """``retry_delay`` must never exceed ``max_backoff_s`` (the documented
+    hard ceiling), even after jitter is applied.  The historical bug
+    applied jitter *after* capping, overshooting the ceiling by up to
+    ``backoff_jitter`` on late attempts."""
+
+    def test_jittered_delay_respects_max_backoff(self):
+        dep = Deployment(num_switches=1, bootstrap=False)
+        kmp = dep.controller.kmp
+        for attempt in range(1, 40):
+            delay = kmp.retry_delay(attempt)
+            assert delay <= kmp.max_backoff_s, (
+                f"attempt {attempt}: delay {delay} exceeds the "
+                f"max_backoff_s ceiling {kmp.max_backoff_s}")
+
+    def test_uncapped_attempts_still_grow_and_jitter(self):
+        dep = Deployment(num_switches=1, bootstrap=False)
+        kmp = dep.controller.kmp
+        # Attempt 1 is the bare base timeout (no jitter, no PRNG draw).
+        assert kmp.retry_delay(1) == kmp.retry_timeout_s
+        # Attempt 2 grows exponentially and adds positive jitter, but
+        # stays below the ceiling when the base delay leaves headroom.
+        delay2 = kmp.retry_delay(2)
+        base2 = kmp.retry_timeout_s * kmp.backoff_factor
+        assert base2 <= delay2 <= base2 * (1.0 + kmp.backoff_jitter)
+
+    def test_ceiling_holds_at_the_cap_boundary(self):
+        """Once the exponential schedule reaches the cap, jitter has no
+        headroom at all: the delay is exactly ``max_backoff_s``."""
+        dep = Deployment(num_switches=1, bootstrap=False)
+        kmp = dep.controller.kmp
+        # With the defaults (0.02 * 2^(n-1), cap 0.25) attempt 5 onward
+        # saturates the ceiling.
+        for attempt in (5, 8, 13, 21):
+            assert kmp.retry_delay(attempt) == kmp.max_backoff_s

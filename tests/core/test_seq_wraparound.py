@@ -14,6 +14,7 @@ wrap invalidates recorded messages outright.
 from repro.core.constants import P4AUTH
 from repro.core.digest import DigestEngine
 from repro.core.messages import build_reg_write_request
+from repro.runtime.batch import BatchController
 from tests.conftest import Deployment
 
 SEQ_MAX = 0xFFFFFFFF
@@ -71,6 +72,61 @@ def test_one_rollover_does_not_retire_the_old_key(single_switch):
     inject(dep, signed_write(dep, SEQ_MAX, 0xBBBB))
     inject(dep, recorded)  # old slot still holds the recorded key
     assert dep.switch("s1").registers.get("demo").read(0) == 0xAAAA
+
+
+def _park_before_wrap(dep, start_seq):
+    """Put both ends of the C-DP channel just shy of the 32-bit boundary
+    (as if the deployment had been running for ~2^32 requests)."""
+    dep.controller._seq["s1"] = start_seq
+    dep.dataplanes["s1"]._expected_seq.write(0, start_seq)
+
+
+class TestControllerRoundTripAcrossWrap:
+    """Full controller-driven round trips straddling the wrap: every
+    message must verify cleanly end to end — no replay flags, no tamper
+    records, no DoS alerts — with the counter crossing 0xFFFFFFFF -> 0
+    mid-burst."""
+
+    def test_write_read_round_trips_verify_across_the_wrap(self, single_switch):
+        dep = single_switch
+        _park_before_wrap(dep, SEQ_MAX - 2)
+        outcomes = []
+        for i in range(6):  # seqs MAX-2, MAX-1, MAX, 0, 1, 2
+            dep.controller.write_register(
+                "s1", "demo", 0, 0x900 + i,
+                lambda ok, v: outcomes.append(("write", ok, v)))
+            dep.run(0.1)
+        dep.controller.read_register(
+            "s1", "demo", 0, lambda ok, v: outcomes.append(("read", ok, v)))
+        dep.run(0.1)
+        assert outcomes == [("write", True, 0x900 + i) for i in range(6)] \
+            + [("read", True, 0x905)]
+        # The counter actually crossed the boundary and kept agreeing.
+        assert dep.controller._seq["s1"] == 4
+        assert dep.dataplanes["s1"]._expected_seq.read(0) == 4
+        # Nothing on either side mistook the wrap for an attack.
+        assert dep.dataplanes["s1"].stats.replays_detected == 0
+        assert dep.dataplanes["s1"].stats.digest_fail_cdp == 0
+        assert dep.controller.tamper_events == []
+        assert dep.controller.alerts == []
+        assert dep.controller.stats.unsolicited_nacks == 0
+
+    def test_pipelined_burst_across_the_wrap(self, single_switch):
+        """The batched path holds several in-flight seqs at once; a burst
+        whose window straddles the wrap must still complete cleanly."""
+        dep = single_switch
+        _park_before_wrap(dep, SEQ_MAX - 3)
+        batch = BatchController(dep.controller, max_in_flight=3)
+        done = []
+        for i in range(8):
+            batch.write_register("s1", "demo", 0, 0xA00 + i,
+                                 lambda ok, v, i=i: done.append((i, ok)))
+        dep.run(5.0)
+        assert done == [(i, True) for i in range(8)]
+        assert batch.idle
+        assert dep.dataplanes["s1"].stats.replays_detected == 0
+        assert dep.dataplanes["s1"].stats.digest_fail_cdp == 0
+        assert dep.controller.unacknowledged_seqs("s1") == []
 
 
 def test_two_rollovers_close_the_wraparound_window(single_switch):

@@ -98,3 +98,27 @@ def test_single_key_bit_flip_avalanche(bit, message):
     t1 = halfsiphash(KEY, message)
     t2 = halfsiphash(KEY ^ (1 << bit), message)
     assert t1 != t2
+
+
+def test_key_schedule_matches_direct_digest():
+    hasher = HalfSipHash()
+    state = hasher.key_schedule(KEY)
+    for message in (b"", b"x", b"hello world", bytes(range(64))):
+        assert hasher.digest_from_state(state, message) \
+            == hasher.digest(KEY, message)
+
+
+def test_key_schedule_rejects_oversized_key():
+    with pytest.raises(ValueError):
+        HalfSipHash().key_schedule(1 << 64)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.binary(max_size=64))
+def test_schedule_reuse_property(key, message):
+    hasher = HalfSipHash()
+    state = hasher.key_schedule(key)
+    # Reusing one schedule across calls never contaminates later digests.
+    first = hasher.digest_from_state(state, message)
+    second = hasher.digest_from_state(state, message)
+    assert first == second == hasher.digest(key, message)

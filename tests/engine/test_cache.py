@@ -1,0 +1,68 @@
+"""ResultCache hardening: corrupt-entry eviction and tmp-file sweeping.
+
+The cache must be self-healing: a truncated or garbled entry (torn
+write, disk fault) is deleted the first time it fails to parse, instead
+of being re-read and re-failed on every future run, and ``clear()``
+sweeps the ``*.tmp`` droppings a SIGKILLed writer can leave behind.
+"""
+
+import json
+import os
+
+from repro.engine.cache import ResultCache
+
+
+def _entry_path(cache: ResultCache, key: str) -> str:
+    return cache._path(key)
+
+
+def test_round_trip(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    cache.put("a" * 16, {"x": 1})
+    assert cache.get("a" * 16) == {"x": 1}
+    assert (cache.hits, cache.misses, cache.evictions) == (1, 0, 0)
+
+
+def test_corrupt_entry_is_evicted_on_read(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = "b" * 16
+    cache.put(key, {"x": 1})
+    path = _entry_path(cache, key)
+    with open(path, "w") as handle:
+        handle.write('{"x": 1')  # truncated JSON
+    assert cache.get(key) is None
+    assert cache.evictions == 1
+    # The poisoned file is gone: the next read is a plain (cheap) miss,
+    # not another parse failure ...
+    assert not os.path.exists(path)
+    assert cache.get(key) is None
+    assert cache.evictions == 1
+    # ... and a re-put fully heals the entry.
+    cache.put(key, {"x": 2})
+    assert cache.get(key) == {"x": 2}
+
+
+def test_missing_entry_is_a_miss_without_eviction(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    assert cache.get("c" * 16) is None
+    assert cache.misses == 1
+    assert cache.evictions == 0
+
+
+def test_clear_sweeps_orphaned_tmp_files(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    cache.put("d" * 16, {"x": 1})
+    # Simulate a writer killed between mkstemp and the atomic rename.
+    subdir = os.path.dirname(_entry_path(cache, "d" * 16))
+    orphan = os.path.join(subdir, "tmpabc123.tmp")
+    with open(orphan, "w") as handle:
+        json.dump({"half": "written"}, handle)
+    removed = cache.clear()
+    assert removed == 1  # orphans are swept but not counted as entries
+    assert not os.path.exists(orphan)
+    assert cache.get("d" * 16) is None
+
+
+def test_clear_on_missing_root_is_a_noop(tmp_path):
+    cache = ResultCache(str(tmp_path / "nonexistent"))
+    assert cache.clear() == 0

@@ -92,3 +92,45 @@ def test_budget_metrics_and_trace_event():
     assert events[0].fields == {"deferred": 7, "executed": 3}
     # Stamped with the virtual clock at exhaustion time.
     assert events[0].time == sim.now
+
+
+def test_consecutive_exhausted_runs_count_each_deferral_once():
+    """Two budget-exhausted ``run()`` calls in a row must not re-count
+    events that were already tallied as deferred the first time."""
+    sim = EventSimulator()
+    _schedule_ticks(sim, count=10)
+    sim.run(until=2.0, max_events=3)
+    assert sim.events_dropped == 7
+    # Second exhausted run executes 3 more; the 4 events that remain
+    # eligible were already counted, so the tally must not move.
+    sim.run(until=2.0, max_events=3)
+    assert sim.events_dropped == 7
+    assert sim.budget_exhaustions == 2
+    # Draining the rest never re-counts either.
+    sim.run(until=2.0)
+    assert sim.events_dropped == 7
+    assert sim.pending() == 0
+
+
+def test_newly_scheduled_events_still_count_as_fresh_deferrals():
+    """Only *re*-counting is suppressed: genuinely new eligible events
+    arriving between exhausted runs are tallied."""
+    sim = EventSimulator()
+    _schedule_ticks(sim, count=6)
+    sim.run(until=2.0, max_events=3)
+    assert sim.events_dropped == 3
+    for index in range(3):
+        sim.schedule_at(1.5 + index * 0.01, lambda: None)
+    sim.run(until=2.0, max_events=1)
+    # 2 old deferrals were already counted; the 3 new events are fresh.
+    # (One old deferred event executed, leaving 2 old + 3 new queued.)
+    assert sim.events_dropped == 3 + 3
+
+
+def test_deferred_bookkeeping_clears_as_events_execute():
+    sim = EventSimulator()
+    _schedule_ticks(sim, count=5)
+    sim.run(until=2.0, max_events=2)
+    assert len(sim._deferred_seen) == 3
+    sim.run(until=2.0)
+    assert not sim._deferred_seen
