@@ -22,6 +22,8 @@ engine.
     python -m repro verify --all     # static analysis of every program
     python -m repro verify p4auth --format json
     python -m repro verify --selftest  # mutant battery
+    python -m repro serve --m 100 --shards 4  # controller daemon
+    python -m repro serve --smoke    # in-process service self-check
 """
 
 from __future__ import annotations
@@ -268,7 +270,7 @@ def print_experiment_listing(stream=None) -> None:
     print(table, file=stream)
     print("\nUsage: python -m repro run <name> [--sweep k=v1,v2] "
           "[--workers N] [--seed N] [--short]\n"
-          "       python -m repro {list,report,verify,"
+          "       python -m repro {list,report,serve,verify,"
           + ",".join(sorted(COMMANDS)) + ",all}", file=stream)
 
 
@@ -388,6 +390,9 @@ def main(argv=None) -> int:
     if command == "verify":
         from repro.verify.cli import cmd_verify
         return cmd_verify(rest)
+    if command == "serve":
+        from repro.service.cli import cmd_serve
+        return cmd_serve(rest)
     if command not in COMMANDS and command != "all":
         print(f"unknown command {command!r}\n", file=sys.stderr)
         print_experiment_listing(sys.stderr)

@@ -137,6 +137,14 @@ class P4AuthController:
         self.on_alert: List[Callable[[AlertRecord], None]] = []
         self._seq: Dict[str, int] = {}
         self._pending: Dict[Tuple[str, int], _Pending] = {}
+        # Per-switch departure horizon for composed requests.  Compose
+        # costs differ by kind (a read is ~6x cheaper to compose than a
+        # write), so with overlapping composes a later-seq read would
+        # depart before an earlier-seq write, the data plane's monotonic
+        # expected_seq would jump past the write, and the write would be
+        # rejected as a replay.  The compose pipeline is FIFO per
+        # switch: a request never departs before one composed earlier.
+        self._depart_horizon: Dict[str, float] = {}
         self._reg_ids: Dict[str, Dict[str, int]] = {}
         # Session-key fast path: ``derive_session_keys`` is a pure
         # function of the master key, so one derivation per live
@@ -270,14 +278,17 @@ class P4AuthController:
         self.stats.requests_sent += 1
         if len(self._pending) > self.outstanding_threshold:
             self.stats.dos_suspected = True
-        self.sim.schedule(
-            compose_cost + self.costs.controller_digest_s,
-            self.network.send_packet_out, switch, request,
+        depart_at = max(
+            self.sim.now + compose_cost + self.costs.controller_digest_s,
+            self._depart_horizon.get(switch, 0.0),
+        )
+        self._depart_horizon[switch] = depart_at
+        self.sim.schedule_at(
+            depart_at, self.network.send_packet_out, switch, request,
         )
         if self.request_timeout_s is not None:
             pending.timeout_handle = self.sim.schedule_cancellable(
-                compose_cost + self.costs.controller_digest_s
-                + self.request_timeout_s,
+                depart_at - self.sim.now + self.request_timeout_s,
                 self._request_timed_out, switch, seq,
             )
 

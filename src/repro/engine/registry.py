@@ -29,6 +29,7 @@ CATALOG_MODULES = (
     "repro.experiments.table3_scalability",
     "repro.experiments.attack2_aggregation",
     "repro.experiments.cdp_batch",
+    "repro.experiments.cdp_service_load",
     "repro.experiments.fct_inflation",
     "repro.experiments.int_manipulation",
     "repro.runtime.comparison",

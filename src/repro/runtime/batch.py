@@ -66,6 +66,8 @@ class BatchStats:
     issued: int = 0
     completed: int = 0
     failed: int = 0
+    #: Completion callbacks that raised (isolated; window drain continues).
+    callback_errors: int = 0
     #: Largest total in-flight population ever observed.
     in_flight_high_water: int = 0
     samples: List[BatchSample] = field(default_factory=list)
@@ -246,8 +248,21 @@ class BatchController:
         if self.telemetry.enabled:
             self._hist_rct.observe(rct)
             self._gauge_in_flight.set(self._in_flight_total)
+        # User callbacks run outside the window accounting: one raising
+        # callback must not leak the exception into the simulator event
+        # loop or skip the pump below, which would strand every request
+        # still queued behind this switch's window.
         if request.callback is not None:
-            request.callback(ok, value)
+            try:
+                request.callback(ok, value)
+            except Exception as exc:  # noqa: BLE001 - user-code boundary
+                self.stats.callback_errors += 1
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter(
+                        "batch_callback_errors_total").inc()
+                    self.telemetry.tracer.emit(
+                        "batch.callback_error", switch=switch,
+                        kind=request.kind, error=type(exc).__name__)
         self._pump(switch)
 
 

@@ -50,6 +50,10 @@ class P4RuntimeStack:
         self._switches: Dict[str, DataplaneSwitch] = {}
         self._seq = 1
         self._outstanding = 0
+        #: Per-switch monotonic arrival time: requests to one switch ride
+        #: one ordered gRPC stream, so a cheap-to-compose read issued after
+        #: a write must not reach the server first.
+        self._arrival_horizon: Dict[str, float] = {}
         self.rct_samples = []  # (kind, rct_s, ok)
 
     def provision(self, switch: DataplaneSwitch) -> None:
@@ -81,8 +85,11 @@ class P4RuntimeStack:
         # Compose + gRPC/P4Runtime server overhead, then one C-DP transit.
         request_delay = (compose_cost + self.costs.p4runtime_overhead_s
                          + self.network.jittered(self.costs.cdp_one_way_s))
-        self.sim.schedule(request_delay, self._apply, kind, switch, reg_name,
-                          index, value, seq, sent_at, callback, attempt)
+        apply_at = max(self.sim.now + request_delay,
+                       self._arrival_horizon.get(switch, 0.0))
+        self._arrival_horizon[switch] = apply_at
+        self.sim.schedule_at(apply_at, self._apply, kind, switch, reg_name,
+                             index, value, seq, sent_at, callback, attempt)
         return seq
 
     def _lost(self, kind: str, switch: str, reg_name: str, index: int,

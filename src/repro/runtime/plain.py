@@ -146,6 +146,10 @@ class PlainController:
         self.request_retries = 0
         self.requests_abandoned = 0
         self._seq: Dict[str, int] = {}
+        #: Per-switch monotonic departure time: composition is FIFO per
+        #: switch, so a cheap-to-compose read submitted after a write must
+        #: not leave the controller first (same rule as P4AuthController).
+        self._depart_horizon: Dict[str, float] = {}
         self._pending: Dict[Tuple[str, int], _PlainPending] = {}
         self._reg_ids: Dict[str, Dict[str, int]] = {}
         self.rct_samples = []  # (kind, rct_s, ok)
@@ -193,11 +197,14 @@ class PlainController:
                                 reg_name=reg_name, index=index, value=value,
                                 attempt=attempt)
         self._pending[(switch, seq)] = pending
-        self.sim.schedule(compose_cost, self.network.send_packet_out,
-                          switch, request)
+        depart_at = max(self.sim.now + compose_cost,
+                        self._depart_horizon.get(switch, 0.0))
+        self._depart_horizon[switch] = depart_at
+        self.sim.schedule_at(depart_at, self.network.send_packet_out,
+                             switch, request)
         if self.request_timeout_s is not None:
             pending.timeout_handle = self.sim.schedule_cancellable(
-                compose_cost + self.request_timeout_s,
+                depart_at - self.sim.now + self.request_timeout_s,
                 self._request_timed_out, switch, seq,
             )
         return seq

@@ -1,0 +1,90 @@
+"""In-process client for the controller service.
+
+:class:`ServiceClient` speaks to a :class:`~repro.service.daemon.ControllerService`
+through the same :meth:`~repro.service.daemon.ControllerService.dispatch`
+surface the HTTP codec uses — every request is token-signed and walks
+the full auth + routing + backpressure path, without sockets.  It is
+what the ``cdp_service_load`` experiment, the test suites, and the
+``repro serve --smoke`` self-check drive.
+
+Raises :class:`ServiceError` (carrying the HTTP status) for any
+non-2xx response, so callers handle 503 backpressure explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.service.auth import TOKEN_HEADER
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Token-signing in-process client over ``service.dispatch``."""
+
+    def __init__(self, service, secret: Optional[str] = None):
+        self.service = service
+        # The deployment secret is shared out of band; tests and the
+        # load driver read it from the service config.
+        from repro.service.auth import RequestAuthenticator
+        self.auth = (service.auth if secret is None
+                     else RequestAuthenticator(secret))
+
+    async def _request(self, method: str, path: str,
+                       payload: Optional[dict] = None) -> dict:
+        body = (json.dumps(payload, sort_keys=True).encode("utf-8")
+                if payload is not None else b"")
+        headers = {TOKEN_HEADER: self.auth.token(method, path, body)}
+        status, ctype, raw = await self.service.dispatch(
+            method, path, body, headers)
+        document = (json.loads(raw.decode("utf-8"))
+                    if ctype.startswith("application/json") and raw
+                    else {"text": raw.decode("utf-8")})
+        if status >= 300:
+            raise ServiceError(status, document.get("error", "unknown"))
+        return document
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    async def read(self, switch: str, register: str = "target",
+                   index: int = 0) -> dict:
+        return await self._request("POST", "/v1/read", {
+            "switch": switch, "register": register, "index": index})
+
+    async def write(self, switch: str, register: str, index: int,
+                    value: int) -> dict:
+        return await self._request("POST", "/v1/write", {
+            "switch": switch, "register": register, "index": index,
+            "value": value})
+
+    async def batch(self, ops: List[Dict[str, object]]) -> dict:
+        """Submit a FIFO list of ``{kind, switch, register, index[, value]}``."""
+        return await self._request("POST", "/v1/batch", {"ops": ops})
+
+    async def rollover(self, switch: Optional[str] = None) -> dict:
+        payload = {} if switch is None else {"switch": switch}
+        return await self._request("POST", "/v1/rollover", payload)
+
+    async def status(self) -> dict:
+        return await self._request("GET", "/fleet/status")
+
+    async def metrics(self) -> str:
+        document = await self._request("GET", "/metrics")
+        return document["text"]
+
+    async def healthz(self) -> dict:
+        return await self._request("GET", "/healthz")
+
+
+__all__ = ["ServiceClient", "ServiceError"]

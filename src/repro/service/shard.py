@@ -1,0 +1,432 @@
+"""One controller shard: a deterministic deployment behind an asyncio queue.
+
+A :class:`ShardWorker` owns the switches its shard was assigned: its own
+:class:`~repro.net.simulator.EventSimulator`, network, register-access
+stack (any of the three runtime stacks), and a
+:class:`~repro.runtime.batch.BatchController` issue engine.  Client
+requests arrive through :meth:`submit` (synchronous, called from the
+service's dispatch path) and are resolved as asyncio futures when the
+wrapped stack decides an outcome.
+
+Concurrency model
+-----------------
+Everything runs on one asyncio event loop.  The worker task alternates
+between (a) topping the issue engine up from the FIFO intake queue and
+(b) advancing the shard's *virtual* clock in small steps so in-flight
+requests complete.  The simulator only advances while the shard has
+work, so idle shards cost nothing and per-request latency is measured
+in honest busy-time virtual seconds.
+
+Ordering: the intake queue is FIFO and the BatchController never
+reorders one switch's requests, so interleaved clients can never make a
+switch's ``expected_seq`` replay defense observe out-of-order sequence
+numbers.
+
+Backpressure: the intake queue is bounded (``queue_depth``); a full
+shard raises :class:`ShardOverload`, which the daemon maps to HTTP 503.
+The issue engine itself is capped at ``issue_window`` total in-flight
+requests — the shard's share of the §IV outstanding-request DoS budget
+(kept far below the controller's ``outstanding_threshold`` so a shard
+can never trip its own defense).  Fleet throughput therefore scales
+with the number of shards, which is the point of the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.auth_dataplane import P4AuthDataplane
+from repro.core.controller import P4AuthController
+from repro.dataplane.switch import DataplaneSwitch
+from repro.net.network import Network
+from repro.net.simulator import EventSimulator
+from repro.runtime.batch import BatchController
+from repro.runtime.comparison import STACKS
+from repro.runtime.p4runtime import P4RuntimeStack
+from repro.runtime.plain import PlainController, PlainRegOpDataplane
+
+#: Buckets for per-request service latency (virtual seconds): window
+#: queueing stacks a few RTTs on top of the Fig 18 ~1 ms round trip.
+SERVICE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
+)
+
+#: Virtual-time window for the parallel key bootstrap at build time.
+BOOTSTRAP_DEADLINE_S = 10.0
+
+OP_KINDS = ("read", "write", "rollover")
+
+
+class ShardOverload(RuntimeError):
+    """The shard's bounded intake queue is full (or the shard is
+    draining); the daemon maps this to HTTP 503."""
+
+    def __init__(self, shard_id: str, reason: str):
+        super().__init__(f"shard {shard_id}: {reason}")
+        self.shard_id = shard_id
+        self.reason = reason
+
+
+@dataclass
+class ShardOp:
+    """One queued operation and the future its caller awaits."""
+
+    kind: str  # "read" | "write" | "rollover"
+    switch: str
+    reg_name: str = ""
+    index: int = 0
+    value: int = 0
+    future: Optional[asyncio.Future] = None
+    #: Shard virtual time at submission (clock only moves while busy).
+    submitted_at: float = 0.0
+
+
+@dataclass
+class ShardStats:
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    rollovers: int = 0
+    #: Virtual time of the first issue / most recent terminal outcome.
+    first_issue_at: Optional[float] = None
+    last_done_at: Optional[float] = None
+    #: Per-request busy-time latency samples (virtual seconds).
+    latency_samples: List[float] = field(default_factory=list)
+
+    @property
+    def busy_s(self) -> float:
+        """Virtual seconds between first issue and last outcome."""
+        if self.first_issue_at is None or self.last_done_at is None:
+            return 0.0
+        return self.last_done_at - self.first_issue_at
+
+    def percentile_s(self, pct: float) -> float:
+        if not self.latency_samples:
+            return math.nan
+        ordered = sorted(self.latency_samples)
+        rank = min(len(ordered) - 1,
+                   max(0, int(pct / 100.0 * len(ordered))))
+        return ordered[rank]
+
+
+def build_shard_stack(stack_name: str, switches: Sequence[str], seed: int,
+                      registers: Sequence[Tuple[str, int, int]],
+                      issue_window: int, telemetry=None):
+    """A fresh deployment of ``stack_name`` over the shard's switches.
+
+    Returns ``(sim, net, stack, dataplanes)``.  Switches get the fleet's
+    register schema; P4Auth switches additionally run the full local-key
+    bootstrap (in parallel, inside the shard's virtual clock) before the
+    shard accepts traffic.  C-DP traffic flows controller<->switch over
+    per-switch control channels, so no inter-switch links are needed.
+    """
+    if stack_name not in STACKS:
+        raise ValueError(f"stack must be one of {STACKS}")
+    sim = EventSimulator(telemetry=telemetry)
+    net = Network(sim)
+    dataplanes: Dict[str, object] = {}
+    for offset, name in enumerate(switches):
+        switch = DataplaneSwitch(name, num_ports=2, seed=seed + offset)
+        net.add_switch(switch)
+        for reg_name, width, size in registers:
+            switch.registers.define(reg_name, width, size)
+
+    if stack_name == "P4Runtime":
+        stack = P4RuntimeStack(net)
+        for name in switches:
+            stack.provision(net.switch(name))
+    elif stack_name == "DP-Reg-RW":
+        stack = PlainController(net)
+        for name in switches:
+            dataplane = PlainRegOpDataplane(net.switch(name)).install()
+            for reg_name, _w, _s in registers:
+                dataplane.map_register(reg_name)
+            stack.provision(net.switch(name))
+            dataplanes[name] = dataplane
+    else:
+        # The shard's issue window must stay far below the DoS
+        # heuristic's budget — tripping our own defense would be a
+        # self-inflicted outage.  Keep the default threshold and assert
+        # the window fits under it with room for KMP chatter.
+        stack = P4AuthController(net, seed=0xC0FFEE ^ seed)
+        if issue_window * 2 > stack.outstanding_threshold:
+            raise ValueError(
+                f"issue_window={issue_window} would crowd the "
+                f"outstanding-request DoS budget "
+                f"({stack.outstanding_threshold}); add shards instead")
+        done: List[object] = []
+        for offset, name in enumerate(switches):
+            dataplane = P4AuthDataplane(
+                net.switch(name), k_seed=0x1000 + seed + offset).install()
+            for reg_name, _w, _s in registers:
+                dataplane.map_register(reg_name)
+            stack.provision(dataplane)
+            dataplanes[name] = dataplane
+        for name in switches:
+            stack.kmp.local_key_init(name, on_done=done.append)
+        sim.run(until=sim.now + BOOTSTRAP_DEADLINE_S)
+        if len(done) != len(switches):
+            raise RuntimeError(
+                f"key bootstrap incomplete: {len(done)}/{len(switches)}")
+    return sim, net, stack, dataplanes
+
+
+class ShardWorker:
+    """One shard: bounded FIFO intake -> windowed issue -> futures."""
+
+    def __init__(self, shard_id: str, switches: Sequence[str], *,
+                 stack_name: str = "P4Auth", seed: int = 1,
+                 registers: Sequence[Tuple[str, int, int]] =
+                 (("target", 64, 16),),
+                 max_in_flight: int = 8, issue_window: int = 32,
+                 queue_depth: int = 1024, step_s: float = 0.002,
+                 metrics=None):
+        if issue_window < 1:
+            raise ValueError("issue_window must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.shard_id = shard_id
+        self.switches = tuple(switches)
+        self.stack_name = stack_name
+        self.seed = seed
+        self.registers = tuple(registers)
+        self.max_in_flight = max_in_flight
+        self.issue_window = issue_window
+        self.queue_depth = queue_depth
+        self.step_s = step_s
+        self.stats = ShardStats()
+        self.sim = None
+        self.net = None
+        self.stack = None
+        self.batch: Optional[BatchController] = None
+        self.dataplanes: Dict[str, object] = {}
+        self._pending: Deque[ShardOp] = deque()
+        self._rollover_waiting: Dict[str, Deque[ShardOp]] = {}
+        self._outstanding = 0
+        self._draining = False
+        self._task: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        # Per-shard service metrics live in the *service* registry (the
+        # shard sims deliberately stay un-instrumented so N virtual
+        # clocks never fight over one tracer).
+        if metrics is not None and metrics.enabled:
+            self._gauge_in_flight = metrics.gauge(
+                "service_shard_in_flight", shard=shard_id)
+            self._gauge_queue = metrics.gauge(
+                "service_shard_queue_depth", shard=shard_id)
+            self._gauge_switches = metrics.gauge(
+                "service_shard_switches", shard=shard_id)
+            self._counters = {
+                kind: metrics.counter("service_requests_total",
+                                      shard=shard_id, op=kind)
+                for kind in OP_KINDS
+            }
+            self._counter_rejected = metrics.counter(
+                "service_requests_rejected_total", shard=shard_id)
+            self._counter_failed = metrics.counter(
+                "service_request_failures_total", shard=shard_id)
+            self._hists = {
+                kind: metrics.histogram(
+                    "service_request_seconds",
+                    buckets=SERVICE_LATENCY_BUCKETS,
+                    shard=shard_id, op=kind)
+                for kind in OP_KINDS
+            }
+        else:
+            self._gauge_in_flight = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Build the deployment (bootstrap included) and start serving."""
+        if self._task is not None:
+            raise RuntimeError(f"shard {self.shard_id} already started")
+        self.sim, self.net, self.stack, self.dataplanes = build_shard_stack(
+            self.stack_name, self.switches, self.seed, self.registers,
+            self.issue_window)
+        self.batch = BatchController(self.stack,
+                                     max_in_flight=self.max_in_flight)
+        if self.stack_name == "P4Auth":
+            self.stack.kmp.on_abandoned.append(self._on_kmp_abandoned)
+        if self._gauge_in_flight is not None:
+            self._gauge_switches.set(len(self.switches))
+        self._wake = asyncio.Event()
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"shard-{self.shard_id}")
+
+    async def stop(self) -> None:
+        """Graceful drain: stop intake, finish queued work, exit."""
+        if self._task is None:
+            return
+        self._draining = True
+        self._wake.set()
+        await self._task
+        self._task = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending and self._outstanding == 0
+
+    # ------------------------------------------------------------------
+    # intake (synchronous: the daemon calls this from dispatch)
+    # ------------------------------------------------------------------
+
+    def submit(self, op: ShardOp) -> asyncio.Future:
+        """Enqueue one op; returns the future its caller awaits.
+
+        Raises :class:`ShardOverload` when the bounded queue is full or
+        the shard is draining — callers must not retry blindly.
+        """
+        if self._task is None or self._draining:
+            self.stats.rejected += 1
+            if self._gauge_in_flight is not None:
+                self._counter_rejected.inc()
+            raise ShardOverload(self.shard_id, "draining")
+        if len(self._pending) + self._outstanding >= self.queue_depth:
+            self.stats.rejected += 1
+            if self._gauge_in_flight is not None:
+                self._counter_rejected.inc()
+            raise ShardOverload(
+                self.shard_id,
+                f"queue full ({self.queue_depth} ops)")
+        op.future = asyncio.get_running_loop().create_future()
+        op.submitted_at = self.sim.now
+        self.stats.submitted += 1
+        self._pending.append(op)
+        if self._gauge_in_flight is not None:
+            self._counters[op.kind].inc()
+            self._gauge_queue.set(len(self._pending))
+        self._wake.set()
+        return op.future
+
+    # ------------------------------------------------------------------
+    # worker loop
+    # ------------------------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            if self.idle:
+                if self._draining:
+                    break
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            self._top_up()
+            if self._outstanding:
+                # Advance the shard's virtual clock one step; completion
+                # callbacks fire inside run() and refill the window.
+                self.sim.run(until=self.sim.now + self.step_s)
+            # Yield so clients observe resolved futures and enqueue
+            # follow-up work before the next step.
+            await asyncio.sleep(0)
+        if self._gauge_in_flight is not None:
+            self._gauge_in_flight.set(0)
+            self._gauge_queue.set(0)
+
+    def _top_up(self) -> None:
+        """Issue from the FIFO head while the window has room."""
+        while self._pending and self._outstanding < self.issue_window:
+            op = self._pending.popleft()
+            self._outstanding += 1
+            if self.stats.first_issue_at is None:
+                self.stats.first_issue_at = self.sim.now
+            if op.kind == "read":
+                self.batch.read_register(
+                    op.switch, op.reg_name, op.index,
+                    lambda ok, value, op=op: self._op_done(op, ok, value))
+            elif op.kind == "write":
+                self.batch.write_register(
+                    op.switch, op.reg_name, op.index, op.value,
+                    lambda ok, value, op=op: self._op_done(op, ok, value))
+            else:
+                self._issue_rollover(op)
+        if self._gauge_in_flight is not None:
+            self._gauge_in_flight.set(self._outstanding)
+            self._gauge_queue.set(len(self._pending))
+
+    def _issue_rollover(self, op: ShardOp) -> None:
+        waiting = self._rollover_waiting.setdefault(op.switch, deque())
+        waiting.append(op)
+        self.stack.kmp.local_key_update(
+            op.switch,
+            on_done=lambda _record, sw=op.switch:
+                self._rollover_done(sw, True))
+
+    def _rollover_done(self, switch: str, ok: bool) -> None:
+        waiting = self._rollover_waiting.get(switch)
+        if not waiting:
+            return
+        op = waiting.popleft()
+        if ok:
+            self.stats.rollovers += 1
+        version = (self.stack.keys.local_key_version(switch)
+                   if ok else 0)
+        self._op_done(op, ok, version)
+
+    def _on_kmp_abandoned(self, failure) -> None:
+        """A rollover exchange hit its retry cap: fail the waiting op
+        instead of leaving its future pending forever."""
+        if failure.op == "local_update":
+            self._rollover_done(failure.switch, False)
+
+    def _op_done(self, op: ShardOp, ok: bool, value: int) -> None:
+        self._outstanding -= 1
+        self.stats.completed += 1 if ok else 0
+        self.stats.failed += 0 if ok else 1
+        self.stats.last_done_at = self.sim.now
+        latency = self.sim.now - op.submitted_at
+        self.stats.latency_samples.append(latency)
+        if self._gauge_in_flight is not None:
+            self._hists[op.kind].observe(latency)
+            self._gauge_in_flight.set(self._outstanding)
+            if not ok:
+                self._counter_failed.inc()
+        if op.future is not None and not op.future.done():
+            op.future.set_result((ok, value))
+        # Refill immediately so the window stays full mid-step.
+        self._top_up()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard_id,
+            "stack": self.stack_name,
+            "switches": len(self.switches),
+            "queued": len(self._pending),
+            "in_flight": self._outstanding,
+            "issue_window": self.issue_window,
+            "queue_depth": self.queue_depth,
+            "submitted": self.stats.submitted,
+            "completed": self.stats.completed,
+            "failed": self.stats.failed,
+            "rejected": self.stats.rejected,
+            "rollovers": self.stats.rollovers,
+            "busy_virtual_s": self.stats.busy_s,
+            "draining": self._draining,
+        }
+
+
+__all__ = [
+    "BOOTSTRAP_DEADLINE_S",
+    "OP_KINDS",
+    "SERVICE_LATENCY_BUCKETS",
+    "ShardOp",
+    "ShardOverload",
+    "ShardStats",
+    "ShardWorker",
+    "build_shard_stack",
+]

@@ -21,6 +21,22 @@ class TestListing:
         assert main(["list"]) == 0
         assert "Registered experiments" in capsys.readouterr().out
 
+    def test_listing_usage_names_every_front_end(self, capsys):
+        """The bare listing is the discovery surface: it must name the
+        engine subcommands alongside `serve` with consistent exit codes
+        (0 informational here, 2 for the unknown-command path below)."""
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for command in ("run", "report", "serve", "verify", "list"):
+            assert command in out
+        assert "cdp_service_load" in out
+
+    def test_unknown_subcommand_listing_also_names_serve(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["not-a-command"])
+        assert excinfo.value.code == 2
+        assert "serve" in capsys.readouterr().err
+
     def test_unknown_command_lists_and_exits_2(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["not-a-command"])

@@ -81,6 +81,57 @@ class TestWindowing:
         assert values == {0: 0x50, 1: 0x51, 2: 0x52, 3: 0x53}
 
 
+class TestCallbackIsolation:
+    def test_raising_callback_does_not_stall_the_window_drain(self):
+        """A completion callback that raises must not leak the exception
+        into the simulator event loop or skip the pump: every request
+        still queued behind that switch's window must complete."""
+        dep = _single_switch()
+        batch = BatchController(dep.controller, max_in_flight=2)
+        done = []
+
+        def bad_callback(ok, _value):
+            raise RuntimeError("user callback bug")
+
+        # The first two occupy the whole window; both callbacks raise.
+        batch.write_register("s1", "demo", 0, 1, bad_callback)
+        batch.write_register("s1", "demo", 0, 2, bad_callback)
+        for i in range(6):
+            batch.write_register("s1", "demo", 0, 10 + i,
+                                 lambda ok, v, i=i: done.append((i, ok)))
+        dep.run(5.0)
+        # The queued requests behind the raising ones all completed...
+        assert done == [(i, True) for i in range(6)]
+        assert batch.idle
+        assert batch.stats.completed == 8
+        # ...and the failures were counted, not swallowed silently.
+        assert batch.stats.callback_errors == 2
+
+    def test_callback_errors_emit_telemetry(self):
+        telemetry = Telemetry(enabled=True)
+        sim, stack = build_stack("P4Auth", telemetry=telemetry)
+        batch = BatchController(stack, max_in_flight=2)
+
+        def bad_callback(ok, _value):
+            raise ValueError("boom")
+
+        batch.write_register("s1", "target", 0, 1, bad_callback)
+        batch.write_register("s1", "target", 0, 2)
+        sim.run(until=sim.now + 2.0)
+        assert batch.stats.completed == 2
+        assert telemetry.metrics.value("batch_callback_errors_total") == 1
+        events = telemetry.tracer.events("batch.callback_error")
+        assert len(events) == 1
+        assert events[0].fields["error"] == "ValueError"
+
+    def test_clean_callbacks_count_no_errors(self):
+        dep = _single_switch()
+        batch = BatchController(dep.controller, max_in_flight=2)
+        batch.write_register("s1", "demo", 0, 7, lambda ok, v: None)
+        dep.run(2.0)
+        assert batch.stats.callback_errors == 0
+
+
 class TestCoalescing:
     def test_broadcast_write_reaches_every_switch(self):
         sim, net, stack, switches = build_batch_deployment(

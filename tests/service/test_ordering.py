@@ -1,0 +1,204 @@
+"""Satellite 3: concurrent multi-client ordering on one switch.
+
+The service guarantee under test: interleaved clients sharing a switch
+can never make the data plane's monotonic ``expected_seq`` replay
+defense observe out-of-order sequence numbers — sequentially,
+pipelined, and across the 32-bit sequence wrap.  Mixed reads and
+writes matter here: a read is ~6x cheaper to compose than a write, so
+without the controller's per-switch FIFO departure rule a pipelined
+read would overtake an in-compose write and poison the sequence state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service import ControllerService, FleetConfig, ServiceClient
+
+SEQ_MAX = 0xFFFFFFFF
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def assert_defenses_quiet(service):
+    """No replay flags, digest failures, tamper records, or seq skew."""
+    for worker in service.workers.values():
+        assert worker.stack.tamper_events == []
+        for name in worker.switches:
+            dataplane = worker.dataplanes[name]
+            assert dataplane.stats.replays_detected == 0, name
+            assert dataplane.stats.digest_fail_cdp == 0, name
+            assert worker.stack._seq.get(name, 0) == \
+                dataplane._expected_seq.read(0), name
+
+
+async def one_switch_service(**overrides):
+    config = dict(stack="P4Auth", m=1, shards=1)
+    config.update(overrides)
+    service = ControllerService(FleetConfig(**config))
+    await service.start()
+    return service
+
+
+class TestSequentialInterleaving:
+    def test_two_clients_alternating_on_one_switch(self):
+        async def scenario():
+            service = await one_switch_service()
+            alice = ServiceClient(service)
+            bob = ServiceClient(service)
+            for round_idx in range(8):
+                write = await alice.write("sw0", "target", 0,
+                                          0x1000 + round_idx)
+                assert write["ok"]
+                read = await bob.read("sw0", "target", 0)
+                assert read["ok"] and read["value"] == 0x1000 + round_idx
+            await service.stop()
+            assert_defenses_quiet(service)
+
+        run(scenario())
+
+
+class TestPipelinedInterleaving:
+    def test_concurrent_mixed_readers_and_writers(self):
+        """Many clients fire mixed reads/writes at one switch without
+        waiting on each other; every op completes and no defense trips."""
+        async def scenario():
+            service = await one_switch_service(max_in_flight=8)
+            clients = [ServiceClient(service) for _ in range(4)]
+
+            async def hammer(client, base):
+                results = []
+                for i in range(6):
+                    if i % 2:
+                        results.append(await client.read(
+                            "sw0", "target", (base + i) % 16))
+                    else:
+                        results.append(await client.write(
+                            "sw0", "target", (base + i) % 16, base + i))
+                return results
+
+            outcomes = await asyncio.gather(
+                *(hammer(c, 100 * n) for n, c in enumerate(clients)))
+            assert all(r["ok"] for results in outcomes for r in results)
+            await service.stop()
+            assert service.idle
+            assert_defenses_quiet(service)
+
+        run(scenario())
+
+    def test_concurrent_batches_from_many_clients(self):
+        """Whole batches from different clients interleave at the shard
+        FIFO; per-switch order within each batch is preserved and the
+        union never produces an out-of-order sequence number."""
+        async def scenario():
+            service = await one_switch_service(max_in_flight=8)
+            clients = [ServiceClient(service) for _ in range(3)]
+
+            def plan(n):
+                ops = []
+                for i in range(10):
+                    if (n + i) % 3 == 0:
+                        ops.append({"kind": "read", "switch": "sw0",
+                                    "register": "target", "index": i % 16})
+                    else:
+                        ops.append({"kind": "write", "switch": "sw0",
+                                    "register": "target", "index": i % 16,
+                                    "value": (n << 8) | i})
+                return ops
+
+            outcomes = await asyncio.gather(
+                *(c.batch(plan(n)) for n, c in enumerate(clients)))
+            for outcome in outcomes:
+                assert all(r["ok"] for r in outcome["results"])
+            await service.stop()
+            assert_defenses_quiet(service)
+
+        run(scenario())
+
+    def test_read_never_overtakes_write_it_followed(self):
+        """The compose-cost asymmetry regression: write-then-read from
+        one client, pipelined (window > 1), must return the just-written
+        value — the cheap read must not depart before the write."""
+        async def scenario():
+            service = await one_switch_service(max_in_flight=8)
+            client = ServiceClient(service)
+            for i in range(6):
+                outcome = await client.batch([
+                    {"kind": "write", "switch": "sw0",
+                     "register": "target", "index": 7, "value": 0xD00 + i},
+                    {"kind": "read", "switch": "sw0",
+                     "register": "target", "index": 7},
+                ])
+                write_r, read_r = outcome["results"]
+                assert write_r["ok"]
+                assert read_r["ok"] and read_r["value"] == 0xD00 + i
+            await service.stop()
+            assert_defenses_quiet(service)
+
+        run(scenario())
+
+
+class TestSequenceWrap:
+    def test_interleaved_clients_across_the_32bit_wrap(self):
+        """Park both ends of the C-DP channel just shy of 0xFFFFFFFF
+        (as if the deployment had served ~2^32 requests), then drive
+        interleaved mixed traffic straight through the wrap."""
+        async def scenario():
+            service = await one_switch_service(max_in_flight=8)
+            worker = service.workers["shard-0"]
+            worker.stack._seq["sw0"] = SEQ_MAX - 5
+            worker.dataplanes["sw0"]._expected_seq.write(0, SEQ_MAX - 5)
+
+            clients = [ServiceClient(service) for _ in range(3)]
+
+            async def drive(client, base):
+                for i in range(8):  # 24 ops total: wrap crossed mid-burst
+                    if i % 2:
+                        result = await client.read("sw0", "target", 0)
+                    else:
+                        result = await client.write(
+                            "sw0", "target", 0, base + i)
+                    assert result["ok"]
+
+            await asyncio.gather(
+                *(drive(c, 0x2000 * (n + 1))
+                  for n, c in enumerate(clients)))
+            await service.stop()
+            # The counter actually wrapped...
+            assert worker.stack._seq["sw0"] == (SEQ_MAX - 5 + 24) \
+                & 0xFFFFFFFF
+            assert worker.stack._seq["sw0"] < SEQ_MAX - 5
+            # ...and nothing mistook the wrap (or the interleaving) for
+            # an attack.
+            assert_defenses_quiet(service)
+            assert worker.stats.failed == 0
+
+        run(scenario())
+
+
+class TestCrossShardIndependence:
+    def test_interleaving_across_shards_is_also_clean(self):
+        """Ops to different switches share no ordering constraint; the
+        defenses must stay quiet when clients spray the whole fleet."""
+        async def scenario():
+            service = ControllerService(FleetConfig(m=6, shards=2))
+            await service.start()
+            clients = [ServiceClient(service) for _ in range(4)]
+
+            async def spray(client, n):
+                for i in range(12):
+                    sw = f"sw{(n + i) % 6}"
+                    if i % 3 == 0:
+                        assert (await client.read(sw, "target", 0))["ok"]
+                    else:
+                        assert (await client.write(
+                            sw, "target", 0, (n << 8) | i))["ok"]
+
+            await asyncio.gather(*(spray(c, n)
+                                   for n, c in enumerate(clients)))
+            await service.stop()
+            assert_defenses_quiet(service)
+
+        run(scenario())

@@ -1,0 +1,97 @@
+"""ShardMap: determinism, coverage, bounded loads, movement, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.shardmap import DEFAULT_LOAD_FACTOR, ShardMap
+
+SWITCHES_100 = [f"sw{i}" for i in range(100)]
+SHARDS_4 = [f"shard-{i}" for i in range(4)]
+
+
+class TestDeterminism:
+    def test_assignment_is_a_pure_function_of_inputs(self):
+        a = ShardMap(SHARDS_4).assign(SWITCHES_100)
+        b = ShardMap(SHARDS_4).assign(SWITCHES_100)
+        assert a == b
+
+    def test_assignment_ignores_switch_listing_order(self):
+        forward = ShardMap(SHARDS_4).assign(SWITCHES_100)
+        backward = ShardMap(SHARDS_4).assign(list(reversed(SWITCHES_100)))
+        assert forward == backward
+
+    def test_ring_owner_is_stable(self):
+        ring = ShardMap(SHARDS_4)
+        owners = {sw: ring.ring_owner(sw) for sw in SWITCHES_100}
+        assert owners == {sw: ShardMap(SHARDS_4).ring_owner(sw)
+                          for sw in SWITCHES_100}
+
+
+class TestCoverageAndBalance:
+    def test_every_switch_owned_exactly_once(self):
+        owned = ShardMap(SHARDS_4).assign(SWITCHES_100)
+        assert sorted(owned) == sorted(SHARDS_4)
+        flat = [sw for sws in owned.values() for sw in sws]
+        assert sorted(flat) == sorted(SWITCHES_100)
+
+    def test_no_shard_exceeds_the_bounded_load_cap(self):
+        ring = ShardMap(SHARDS_4)
+        owned = ring.assign(SWITCHES_100)
+        cap = ring.capacity(len(SWITCHES_100))
+        assert cap == 29  # ceil(100/4 * 1.15)
+        assert all(len(sws) <= cap for sws in owned.values())
+
+    def test_bounded_load_beats_raw_ring_imbalance(self):
+        """The cap is the point: the most loaded shard under bounded-load
+        assignment never exceeds fair_share * load_factor, which is what
+        makes the >=3x shard-scaling acceptance criterion achievable."""
+        ring = ShardMap(SHARDS_4)
+        owned = ring.assign(SWITCHES_100)
+        fair = len(SWITCHES_100) / len(SHARDS_4)
+        assert max(len(sws) for sws in owned.values()) \
+            <= fair * DEFAULT_LOAD_FACTOR + 1
+
+    def test_single_shard_owns_everything(self):
+        owned = ShardMap(["only"]).assign(SWITCHES_100)
+        assert sorted(owned["only"]) == sorted(SWITCHES_100)
+
+    def test_empty_fleet(self):
+        owned = ShardMap(SHARDS_4).assign([])
+        assert owned == {shard: [] for shard in SHARDS_4}
+
+
+class TestMovement:
+    def test_adding_a_shard_moves_a_minority_of_switches(self):
+        before = ShardMap(SHARDS_4).assign(SWITCHES_100)
+        after = ShardMap(SHARDS_4 + ["shard-4"]).assign(SWITCHES_100)
+        moved = ShardMap.moved(before, after)
+        # Consistent hashing: roughly 1/(N+1) of the fleet moves, never
+        # a full reshuffle.  Allow slack for the bounded-load walk.
+        assert 0 < moved < len(SWITCHES_100) // 2
+
+    def test_identical_assignments_move_nothing(self):
+        owned = ShardMap(SHARDS_4).assign(SWITCHES_100)
+        assert ShardMap.moved(owned, owned) == 0
+
+
+class TestErrors:
+    def test_rejects_no_shards(self):
+        with pytest.raises(ValueError):
+            ShardMap([])
+
+    def test_rejects_duplicate_shard_ids(self):
+        with pytest.raises(ValueError):
+            ShardMap(["a", "a"])
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ValueError):
+            ShardMap(["a"], replicas=0)
+
+    def test_rejects_load_factor_below_one(self):
+        with pytest.raises(ValueError):
+            ShardMap(["a", "b"]).assign(SWITCHES_100, load_factor=0.9)
+
+    def test_rejects_duplicate_switches(self):
+        with pytest.raises(ValueError):
+            ShardMap(["a"]).assign(["sw1", "sw1"])
