@@ -15,7 +15,7 @@ talks to data planes only through (possibly adversarial) control channels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.auth_dataplane import FLAG_ENCRYPTED, P4AuthDataplane
 from repro.core.confidentiality import derive_session_keys, encrypt_value
@@ -39,6 +39,9 @@ from repro.net.network import Network
 from repro.telemetry import RCT_BUCKETS
 
 ResponseCallback = Callable[[bool, int], None]
+
+#: Buckets for the signed-burst size histogram (requests per sign call).
+SIGN_BATCH_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 @dataclass
@@ -111,12 +114,17 @@ class P4AuthController:
                  seed: int = 0xC0FFEE, outstanding_threshold: int = 1000,
                  encrypt_regops: bool = False,
                  request_timeout_s: Optional[float] = None,
-                 max_request_attempts: int = 3):
+                 max_request_attempts: int = 3,
+                 digest_lane: str = "auto"):
         self.network = network
         self.sim = network.sim
         self.costs = network.costs
         self.telemetry = network.telemetry
-        self.digest = DigestEngine(algorithm=algorithm)
+        #: ``digest_lane`` forces the software digest lane ("scalar" /
+        #: "vector") or leaves batch-size-based selection on ("auto").
+        #: Tags are bit-identical either way — the knob exists so the
+        #: lane-equivalence battery can pin that down.
+        self.digest = DigestEngine(algorithm=algorithm, lane=digest_lane)
         self.keys = ControllerKeyStore()
         self.prng = XorShiftPrng(seed)
         self.stats = ControllerStats()
@@ -264,12 +272,76 @@ class P4AuthController:
                                attempt=_attempt)
         return seq
 
+    def request_many(self, switch: str, ops: Sequence[Tuple],
+                     ) -> List[int]:
+        """Compose, sign, and dispatch a burst of requests to one switch.
+
+        ``ops`` is a sequence of ``(kind, reg_name, index, value,
+        callback)`` tuples (``value`` ignored for reads).  The burst is
+        byte-identical to issuing each op through
+        :meth:`read_register`/:meth:`write_register` back to back at the
+        same instant — same sequence numbers, same per-request compose
+        costs, same FIFO departure horizon — but the Eqn 4 digests are
+        computed in one :meth:`DigestEngine.sign_many` call, which lets
+        the engine take the vectorized lane for large bursts.  Returns
+        the assigned sequence numbers in op order.
+        """
+        key = self.keys.local_key(switch)
+        composed: List[Tuple] = []
+        for kind, reg_name, index, value, callback in ops:
+            seq = self.next_seq(switch)
+            key_ver = self.keys.local_key_version(switch)
+            if kind == "read":
+                request = build_reg_read_request(
+                    self.register_id(switch, reg_name), index, seq,
+                    key_ver=key_ver)
+                compose_cost = self.costs.compose_read_s
+                plain_value = 0
+            elif kind == "write":
+                plain_value = value
+                if self.encrypt_regops:
+                    session = self._session_keys(switch, key_ver)
+                    value = encrypt_value(session, seq, value)
+                request = build_reg_write_request(
+                    self.register_id(switch, reg_name), index, value, seq,
+                    key_ver=key_ver)
+                compose_cost = self.costs.compose_write_s
+            else:
+                raise ValueError(f"unknown request kind {kind!r}")
+            if self.encrypt_regops:
+                request.get(P4AUTH)["flags"] = FLAG_ENCRYPTED
+            composed.append((kind, reg_name, seq, request, callback,
+                             compose_cost, index, plain_value))
+        self.digest.sign_many(key, [entry[3] for entry in composed])
+        if self.telemetry.enabled and composed:
+            self.telemetry.metrics.counter(
+                "controller_sign_batches_total",
+                lane=self.digest.lane_for(len(composed))).inc()
+            self.telemetry.metrics.histogram(
+                "controller_sign_batch_size",
+                buckets=SIGN_BATCH_BUCKETS).observe(len(composed))
+        for (kind, reg_name, seq, request, callback, compose_cost,
+             index, plain_value) in composed:
+            self._finalize_request(kind, switch, reg_name, seq, request,
+                                   callback, compose_cost, index=index,
+                                   value=plain_value, attempt=1)
+        return [entry[2] for entry in composed]
+
     def _dispatch_request(self, kind: str, switch: str, reg_name: str,
                           seq: int, request: Packet,
                           callback: Optional[ResponseCallback],
                           compose_cost: float, index: int = 0,
                           value: int = 0, attempt: int = 1) -> None:
         self.digest.sign(self.keys.local_key(switch), request)
+        self._finalize_request(kind, switch, reg_name, seq, request,
+                               callback, compose_cost, index=index,
+                               value=value, attempt=attempt)
+
+    def _finalize_request(self, kind: str, switch: str, reg_name: str,
+                          seq: int, request: Packet,
+                          callback: Optional[ResponseCallback],
+                          compose_cost: float, index: int = 0,
+                          value: int = 0, attempt: int = 1) -> None:
         pending = _Pending(
             kind, switch, reg_name, self.sim.now, callback,
             index=index, value=value, attempt=attempt,

@@ -6,18 +6,36 @@ timing model) and one at the controller (wrapping a plain software hash).
 Both compute:
 
     digest = HMAC_K(p4Auth_h || p4Auth_payload)
+
+The controller-side software engine has two lanes:
+
+- the **scalar lane** — one message at a time, as the paper describes;
+- the **vector lane** (:mod:`repro.crypto.vectorized`) — whole batches
+  per call, selected transparently by :meth:`compute_many` when a batch
+  is at least :attr:`vector_threshold` messages (or forced via
+  ``lane="vector"``/``lane="scalar"``).
+
+Lane selection is a host-CPU scheduling decision only: tags are
+bit-identical across lanes (pinned by the differential battery), so which
+lane signed a message can never change observable wire behavior.  Extern
+(data-plane) digests always run per-packet so hash-unit invocation
+accounting is untouched.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.constants import P4AUTH
 from repro.core.messages import digest_material
+from repro.crypto import vectorized
 from repro.crypto.crc import Crc32
 from repro.crypto.halfsiphash import HalfSipHash
 from repro.dataplane.externs import HashExtern
 from repro.dataplane.packet import Packet
+
+#: Valid values for the engine's ``lane`` knob.
+LANES = ("auto", "scalar", "vector")
 
 
 class DigestEngine:
@@ -32,42 +50,105 @@ class DigestEngine:
     algorithm:
         Software-engine algorithm when ``extern`` is None:
         ``"halfsiphash"`` (BMv2 flavor) or ``"crc32"`` (Tofino flavor).
+    lane:
+        Software batch-lane policy: ``"auto"`` (vector at or above
+        :attr:`vector_threshold` when numpy is importable), ``"vector"``
+        (always batch through :mod:`repro.crypto.vectorized`, stdlib
+        fallback included), or ``"scalar"`` (never).
+    vector_threshold:
+        Batch size at which ``"auto"`` switches lanes; defaults to
+        :attr:`VECTOR_THRESHOLD`.
     """
 
     #: Per-key schedule cache bound: two live versions per switch means a
     #: controller serving hundreds of switches stays far below this; the
-    #: bound only guards against pathological key churn.
+    #: bound only guards against pathological key churn.  The bound
+    #: covers *every* lane — the vector lane reuses the same cache, so a
+    #: rolled master key auto-misses there too.
     KEY_CACHE_MAX = 1024
 
+    #: Default ``"auto"`` lane crossover.  Below this, numpy's per-call
+    #: overhead beats the scalar loop's per-message cost; measured
+    #: breakeven on C-DP-sized material is ~10-20 messages.
+    VECTOR_THRESHOLD = 32
+
     def __init__(self, extern: Optional[HashExtern] = None,
-                 algorithm: str = "halfsiphash"):
+                 algorithm: str = "halfsiphash", lane: str = "auto",
+                 vector_threshold: Optional[int] = None):
+        if lane not in LANES:
+            raise ValueError(f"lane must be one of {LANES}")
         self._extern = extern
         self._halfsiphash: Optional[HalfSipHash] = None
+        self._crc: Optional[Crc32] = None
         if extern is None:
             if algorithm == "halfsiphash":
                 self._halfsiphash = HalfSipHash()
                 self._software = self._halfsiphash.digest
             elif algorithm == "crc32":
-                crc = Crc32()
-                self._software = crc.compute_keyed
+                self._crc = Crc32()
+                self._software = self._crc.compute_keyed
             else:
                 raise ValueError(f"unknown algorithm {algorithm!r}")
             self.algorithm = algorithm
         else:
             self._software = None
             self.algorithm = extern.algorithm
+        self.lane = lane
+        self.vector_threshold = (self.VECTOR_THRESHOLD
+                                 if vector_threshold is None
+                                 else vector_threshold)
         # Software fast path: HalfSipHash's initial state depends only on
         # the key, so a batch of messages signed/verified under one
         # (switch, key_ver) key reuses a cached schedule instead of
         # re-deriving it per message.  Purely a host-CPU optimization —
         # the tag is bit-identical and extern (data-plane) digests are
-        # untouched, so modeled hash-unit charges do not change.
+        # untouched, so modeled hash-unit charges do not change.  Both
+        # lanes share this one cache: eviction and rollover auto-miss
+        # (the cache is keyed by master-key *value*) apply uniformly.
         self._key_states: dict = {}
         self.key_state_hits = 0
         self.key_state_misses = 0
         self.computed = 0
         self.verified_ok = 0
         self.verified_fail = 0
+        #: Lane-selection telemetry: batches and messages per lane.
+        self.vector_batches = 0
+        self.scalar_batches = 0
+        self.vector_messages = 0
+        self.scalar_messages = 0
+
+    # ------------------------------------------------------------------
+    # lane selection
+    # ------------------------------------------------------------------
+
+    def lane_for(self, batch_size: int) -> str:
+        """Which lane a ``batch_size``-message batch would take."""
+        if self._extern is not None:
+            return "extern"
+        if self.lane == "scalar":
+            return "scalar"
+        if self.lane == "vector":
+            return "vector"
+        if batch_size >= self.vector_threshold and vectorized.HAVE_NUMPY:
+            return "vector"
+        return "scalar"
+
+    def _schedule(self, key: int) -> Tuple[int, int, int, int]:
+        """The cached HalfSipHash key schedule for ``key`` (all lanes)."""
+        state = self._key_states.get(key)
+        if state is None:
+            self.key_state_misses += 1
+            state = self._halfsiphash.key_schedule(key)
+            if len(self._key_states) >= self.KEY_CACHE_MAX:
+                self._key_states.clear()
+            self._key_states[key] = state
+        else:
+            self.key_state_hits += 1
+        return state
+
+    # ------------------------------------------------------------------
+    # single-message path (unchanged semantics)
+    # ------------------------------------------------------------------
 
     def compute(self, key: int, packet: Packet) -> int:
         """The digest value for ``packet`` under ``key`` (does not sign)."""
@@ -76,16 +157,8 @@ class DigestEngine:
         if self._extern is not None:
             return self._extern.compute_digest_bytes(key, material)
         if self._halfsiphash is not None:
-            state = self._key_states.get(key)
-            if state is None:
-                self.key_state_misses += 1
-                state = self._halfsiphash.key_schedule(key)
-                if len(self._key_states) >= self.KEY_CACHE_MAX:
-                    self._key_states.clear()
-                self._key_states[key] = state
-            else:
-                self.key_state_hits += 1
-            return self._halfsiphash.digest_from_state(state, material)
+            return self._halfsiphash.digest_from_state(
+                self._schedule(key), material)
         return self._software(key, material)
 
     def sign(self, key: int, packet: Packet) -> Packet:
@@ -103,3 +176,66 @@ class DigestEngine:
             return True
         self.verified_fail += 1
         return False
+
+    # ------------------------------------------------------------------
+    # batch path (vector lane above the threshold)
+    # ------------------------------------------------------------------
+
+    def compute_many(self, key: int, packets: Sequence[Packet]) -> List[int]:
+        """Digest values for a batch of packets under one ``key``.
+
+        Bit-identical to ``[self.compute(key, p) for p in packets]`` —
+        the lane only changes how many Python-interpreter round trips
+        the batch costs.  Extern engines always compute per-packet so
+        hash-unit invocation counts stay exactly the per-packet model.
+        """
+        count = len(packets)
+        if count == 0:
+            return []
+        self.computed += count
+        if self._extern is not None:
+            extern = self._extern
+            return [extern.compute_digest_bytes(key, digest_material(p))
+                    for p in packets]
+        materials = [digest_material(p) for p in packets]
+        if self.lane_for(count) == "vector":
+            self.vector_batches += 1
+            self.vector_messages += count
+            force_stdlib = not vectorized.HAVE_NUMPY
+            if self._halfsiphash is not None:
+                return vectorized.digest_many_from_state(
+                    self._schedule(key), materials,
+                    self._halfsiphash.compression_rounds,
+                    self._halfsiphash.finalization_rounds,
+                    force_stdlib=force_stdlib)
+            return vectorized.crc32_many_keyed(key, materials,
+                                               engine=self._crc,
+                                               force_stdlib=force_stdlib)
+        self.scalar_batches += 1
+        self.scalar_messages += count
+        if self._halfsiphash is not None:
+            state = self._schedule(key)
+            digest_from_state = self._halfsiphash.digest_from_state
+            return [digest_from_state(state, m) for m in materials]
+        software = self._software
+        return [software(key, m) for m in materials]
+
+    def sign_many(self, key: int, packets: Sequence[Packet]) -> Sequence[Packet]:
+        """Fill every packet's digest field in place; returns the batch."""
+        digests = self.compute_many(key, packets)
+        for packet, digest in zip(packets, digests):
+            packet.get(P4AUTH)["digest"] = digest
+        return packets
+
+    def verify_many(self, key: int, packets: Sequence[Packet]) -> List[bool]:
+        """Per-packet verification verdicts for a batch under one key."""
+        actuals = self.compute_many(key, packets)
+        verdicts: List[bool] = []
+        for packet, actual in zip(packets, actuals):
+            ok = packet.get(P4AUTH)["digest"] == actual
+            if ok:
+                self.verified_ok += 1
+            else:
+                self.verified_fail += 1
+            verdicts.append(ok)
+        return verdicts

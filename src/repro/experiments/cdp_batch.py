@@ -11,11 +11,15 @@ two ways over the *same* stack —
 - ``mode="sequential"`` — the paper's shape: one request in flight
   globally, next issued on completion (the per-request baseline);
 - ``mode="batched"`` — through :class:`repro.runtime.batch.BatchController`,
-  a window of requests in flight per switch and all switches concurrent.
+  a window of requests in flight per switch and all switches concurrent;
+- ``mode="vectorized"`` — the batched schedule with the controller's
+  digest lane pinned to :mod:`repro.crypto.vectorized`, so whole issue
+  bursts are signed in one ``sign_many`` call.
 
-Both modes emit byte-identical per-message traffic (same stack, same
-compose path, same Eqn 4 digests); only the scheduling differs, so the
-throughput ratio isolates the pipelining win.
+All modes emit byte-identical per-message traffic (same stack, same
+compose path, same Eqn 4 digests — the vector lane is bit-identical by
+the differential battery); only scheduling and host-CPU signing differ,
+so the throughput ratios isolate the pipelining and crypto wins.
 
 The ``cdp_batch_lossy`` variant is the chaos companion: a seeded
 Bernoulli drop tap on every control channel while the batched window is
@@ -52,7 +56,8 @@ def build_batch_deployment(stack_name: str, m: int = 25, degree: int = 4,
                            seed: int = 1, telemetry=None,
                            request_timeout_s: Optional[float] = None,
                            loss_rate: float = 0.0,
-                           max_in_flight: int = 8) -> Tuple:
+                           max_in_flight: int = 8,
+                           digest_lane: str = "auto") -> Tuple:
     """One stack deployed on the m-switch random-regular fabric.
 
     Returns ``(sim, net, stack, switch_names)`` with every switch
@@ -91,7 +96,8 @@ def build_batch_deployment(stack_name: str, m: int = 25, degree: int = 4,
         # m * window requests open, so the threshold must scale with it.
         stack = P4AuthController(
             net, request_timeout_s=request_timeout_s,
-            outstanding_threshold=max(1000, 2 * m * max_in_flight))
+            outstanding_threshold=max(1000, 2 * m * max_in_flight),
+            digest_lane=digest_lane)
         done: List[object] = []
         for name in switches:
             node = int(name[2:])
@@ -127,9 +133,15 @@ def run_batch_workload(sim, stack, switches: List[str], mode: str = "batched",
     The request list interleaves switches round-robin so the batched
     windows fill evenly.  Throughput is completed requests over the span
     from first issue to last terminal outcome (virtual time).
+
+    ``mode="vectorized"`` schedules exactly like ``"batched"`` (the
+    deployment's forced digest lane is what differs); both submit
+    through :meth:`BatchController.submit_many` so whole windows issue
+    as single signed bursts.
     """
-    if mode not in ("sequential", "batched"):
-        raise ValueError("mode must be 'sequential' or 'batched'")
+    if mode not in ("sequential", "batched", "vectorized"):
+        raise ValueError(
+            "mode must be 'sequential', 'batched', or 'vectorized'")
     requests = [
         (sw, i % 16, (0xAB00 + round_idx) & 0xFFFF)
         for round_idx in range(requests_per_switch)
@@ -139,18 +151,17 @@ def run_batch_workload(sim, stack, switches: List[str], mode: str = "batched",
     state = {"ok": 0, "failed": 0, "last_done": start}
     rcts: List[float] = []
 
-    if mode == "batched":
+    if mode in ("batched", "vectorized"):
         batch = BatchController(stack, max_in_flight=max_in_flight)
 
         def on_done(ok: bool, _value: int) -> None:
             state["ok" if ok else "failed"] += 1
             state["last_done"] = sim.now
 
-        for sw, index, value in requests:
-            if kind == "read":
-                batch.read_register(sw, reg_name, index, on_done)
-            else:
-                batch.write_register(sw, reg_name, index, value, on_done)
+        batch.submit_many([
+            (kind if kind == "read" else "write", sw, reg_name, index,
+             value, on_done)
+            for sw, index, value in requests])
         sim.run(until=start + RUN_DEADLINE_S)
         rcts = [s.rct_s for s in batch.stats.samples if s.ok]
         extra = {
@@ -214,10 +225,16 @@ def run_batch_workload(sim, stack, switches: List[str], mode: str = "batched",
 def _trial(ctx: TrialContext) -> dict:
     p = ctx.params
     timeout = p["request_timeout_s"] if p["loss_rate"] else None
+    # ``vectorized`` is ``batched`` with the digest lane pinned to the
+    # vector implementations; the result payload carries no lane fields,
+    # so the lane-equivalence battery can assert payload identity.
+    lane = "vector" if p["mode"] == "vectorized" else p.get("digest_lane",
+                                                           "auto")
     sim, _net, stack, switches = build_batch_deployment(
         p["stack"], m=p["m"], degree=p["degree"], seed=p["seed"],
         telemetry=ctx.telemetry, request_timeout_s=timeout,
-        loss_rate=p["loss_rate"], max_in_flight=p["max_in_flight"])
+        loss_rate=p["loss_rate"], max_in_flight=p["max_in_flight"],
+        digest_lane=lane)
     result = run_batch_workload(
         sim, stack, switches, mode=p["mode"], kind=p["kind"],
         requests_per_switch=p["requests_per_switch"],
@@ -239,12 +256,15 @@ SPEC = register(ExperimentSpec(
     title="Batched vs sequential C-DP register throughput",
     source="§XI",
     trial=_trial,
-    grid={"stack": list(STACKS), "mode": ["sequential", "batched"]},
+    grid={"stack": list(STACKS),
+          "mode": ["sequential", "batched", "vectorized"]},
     defaults={"m": 25, "degree": 4, "requests_per_switch": 8,
               "max_in_flight": 8, "kind": "write", "loss_rate": 0.0,
-              "request_timeout_s": 0.05, "seed": 1},
+              "request_timeout_s": 0.05, "seed": 1,
+              "digest_lane": "auto"},
     short={"m": 9, "requests_per_switch": 2},
     seed_param="seed",
+    spec_version=2,
     supports_telemetry=True,
     tags=("runtime", "batching", "scalability"),
 ))

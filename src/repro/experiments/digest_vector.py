@@ -1,0 +1,111 @@
+"""Digest-lane microbenchmark: vectorized vs scalar tag throughput.
+
+PR 5's batched issue path made host-CPU crypto the C-DP bottleneck, so
+this experiment tracks the raw digest rate of both software lanes for
+both target flavors (HalfSipHash-2-4 on BMv2, keyed CRC32 on Tofino) on
+C-DP-sized material.  It is the perf-trajectory anchor for ROADMAP
+item 2: ``benchmarks/bench_digest_vector.py`` runs it and gates on a
+>=5x vector-over-scalar floor at batch >= 1024, and CI publishes the
+``BENCH_digest_vector.json`` artifact from the experiment-smoke matrix.
+
+Timing is wall-clock (the whole point is host-CPU speed), so throughput
+fields vary run to run — but every trial also reports a deterministic
+``checksum`` XOR-fold of its tags, which must agree between the scalar
+and vector trials of one (algorithm, batch, msg_len, seed) point.  The
+artifact therefore carries its own bit-identity cross-check alongside
+the timing numbers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List
+
+from repro.crypto import vectorized
+from repro.crypto.crc import Crc32
+from repro.crypto.halfsiphash import HalfSipHash
+from repro.engine.registry import register
+from repro.engine.spec import ExperimentSpec, TrialContext
+
+#: Realistic C-DP digest-material size: six 8-byte p4auth header words
+#: plus the serialized reg_op payload.
+DEFAULT_MSG_LEN = 64
+
+ALGORITHMS = ("halfsiphash", "crc32")
+LANES = ("scalar", "vector")
+
+
+def _checksum(tags: List[int]) -> int:
+    folded = 0
+    for tag in tags:
+        folded ^= tag
+    return folded
+
+
+def _build_lane(algorithm: str, lane: str, key: int,
+                messages: List[bytes]) -> Callable[[], List[int]]:
+    """The measured callable: one full batch of tags per invocation.
+
+    The scalar lane gets its best honest shape — a precomputed key
+    schedule (the PR 5 fast path) and a hoisted bound method — so the
+    reported speedup is vector-lane value, not strawman overhead.
+    """
+    if algorithm == "halfsiphash":
+        hasher = HalfSipHash()
+        state = hasher.key_schedule(key)
+        if lane == "scalar":
+            digest = hasher.digest_from_state
+            return lambda: [digest(state, m) for m in messages]
+        return lambda: vectorized.digest_many_from_state(state, messages)
+    crc = Crc32()
+    if lane == "scalar":
+        compute_keyed = crc.compute_keyed
+        return lambda: [compute_keyed(key, m) for m in messages]
+    return lambda: vectorized.crc32_many_keyed(key, messages, engine=crc)
+
+
+def _trial(ctx: TrialContext) -> Dict[str, object]:
+    p = ctx.params
+    if p["algorithm"] not in ALGORITHMS:
+        raise ValueError(f"algorithm must be one of {ALGORITHMS}")
+    if p["lane"] not in LANES:
+        raise ValueError(f"lane must be one of {LANES}")
+    rng = random.Random(ctx.seed)
+    messages = [rng.randbytes(p["msg_len"]) for _ in range(p["batch"])]
+    key = rng.getrandbits(64)
+    run_batch = _build_lane(p["algorithm"], p["lane"], key, messages)
+
+    tags = run_batch()  # warmup (numpy first-call setup, cache warming)
+    best_s = float("inf")
+    for _ in range(p["repeats"]):
+        started = time.perf_counter()
+        tags = run_batch()
+        best_s = min(best_s, time.perf_counter() - started)
+
+    return {
+        "algorithm": p["algorithm"],
+        "lane": p["lane"],
+        "backend": (vectorized.backend() if p["lane"] == "vector"
+                    else "scalar"),
+        "batch": p["batch"],
+        "msg_len": p["msg_len"],
+        "wall_s": best_s,
+        "tags_per_s": (p["batch"] / best_s) if best_s > 0 else 0.0,
+        # Deterministic: must match across lanes for one parameter point.
+        "checksum": _checksum(tags),
+    }
+
+
+SPEC = register(ExperimentSpec(
+    name="digest_vector",
+    title="Vectorized vs scalar digest-lane throughput",
+    source="ROADMAP 2",
+    trial=_trial,
+    grid={"algorithm": list(ALGORITHMS), "lane": list(LANES)},
+    defaults={"batch": 4096, "msg_len": DEFAULT_MSG_LEN, "repeats": 3,
+              "seed": 1},
+    short={"batch": 256, "repeats": 1},
+    seed_param="seed",
+    tags=("crypto", "performance", "batching"),
+))

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.telemetry import RCT_BUCKETS
 
@@ -144,6 +144,35 @@ class BatchController:
         self._submit(_QueuedRequest("write", switch, reg_name, index, value,
                                     callback, self.sim.now))
 
+    def submit_many(self, ops: Sequence[Tuple]) -> None:
+        """Queue a batch of requests, then fill each window once.
+
+        ``ops`` is a sequence of ``(kind, switch, reg_name, index,
+        value, callback)`` tuples (``value`` ignored for reads).
+        Equivalent to calling :meth:`read_register` /
+        :meth:`write_register` per op — same FIFO order, same wire
+        bytes — but the pump runs once per switch *after* everything is
+        queued, so a whole window's worth of requests issues as one
+        burst.  Burst issue is what lets a stack exposing
+        ``request_many`` sign the burst in a single
+        :meth:`~repro.core.digest.DigestEngine.sign_many` call (and
+        take the vectorized digest lane above its threshold).
+        """
+        now = self.sim.now
+        touched: Dict[str, None] = {}
+        for kind, switch, reg_name, index, value, callback in ops:
+            if kind not in ("read", "write"):
+                raise ValueError(f"unknown request kind {kind!r}")
+            self.stats.submitted += 1
+            if self.telemetry.enabled:
+                self._counter_submitted.inc()
+            self._queues.setdefault(switch, deque()).append(
+                _QueuedRequest(kind, switch, reg_name, index, value,
+                               callback, now))
+            touched[switch] = None
+        for switch in touched:
+            self._pump(switch)
+
     def broadcast_write(self, reg_name: str, index: int, value: int,
                         switches: List[str],
                         on_done: Optional[Callable[[Dict[str, bool]], None]]
@@ -202,34 +231,58 @@ class BatchController:
         queue = self._queues.get(switch)
         if not queue:
             return
-        burst = 0
-        while queue and self._in_flight.get(switch, 0) < self.max_in_flight:
-            request = queue.popleft()
-            self._issue(request)
-            burst += 1
-        if burst and self.telemetry.enabled:
-            self._hist_burst.observe(burst)
+        burst: List[_QueuedRequest] = []
+        in_flight = self._in_flight.get(switch, 0)
+        while queue and in_flight + len(burst) < self.max_in_flight:
+            burst.append(queue.popleft())
+        if not burst:
+            return
+        self._issue_burst(switch, burst)
+        if self.telemetry.enabled:
+            self._hist_burst.observe(len(burst))
             self._gauge_in_flight.set(self._in_flight_total)
             self._gauge_queued.set(self.queued())
 
-    def _issue(self, request: _QueuedRequest) -> None:
-        switch = request.switch
-        self._in_flight[switch] = self._in_flight.get(switch, 0) + 1
-        self._in_flight_total += 1
-        if self._in_flight_total > self.stats.in_flight_high_water:
-            self.stats.in_flight_high_water = self._in_flight_total
-        self.stats.issued += 1
-        request.issued_at = self.sim.now
+    def _issue_burst(self, switch: str,
+                     burst: List[_QueuedRequest]) -> None:
+        """Hand a FIFO burst to the stack, window accounting first.
 
-        def complete(ok: bool, value: int) -> None:
-            self._on_complete(request, ok, value)
+        Stacks exposing ``request_many`` (the P4Auth controller) get
+        multi-request bursts in one call so all Eqn 4 digests are
+        signed together; other stacks — and single-request refills —
+        take the per-request path.  Either way the wire stream is
+        byte-identical: composition order, sequence numbers, and
+        departure times are those of back-to-back per-request issue.
+        """
+        now = self.sim.now
+        for request in burst:
+            self._in_flight[switch] = self._in_flight.get(switch, 0) + 1
+            self._in_flight_total += 1
+            if self._in_flight_total > self.stats.in_flight_high_water:
+                self.stats.in_flight_high_water = self._in_flight_total
+            self.stats.issued += 1
+            request.issued_at = now
+        request_many = getattr(self.stack, "request_many", None)
+        if request_many is not None and len(burst) > 1:
+            request_many(switch, [
+                (request.kind, request.reg_name, request.index,
+                 request.value,
+                 lambda ok, value, request=request:
+                     self._on_complete(request, ok, value))
+                for request in burst])
+            return
+        for request in burst:
+            def complete(ok: bool, value: int,
+                         request: _QueuedRequest = request) -> None:
+                self._on_complete(request, ok, value)
 
-        if request.kind == "read":
-            self.stack.read_register(switch, request.reg_name,
-                                     request.index, complete)
-        else:
-            self.stack.write_register(switch, request.reg_name,
-                                      request.index, request.value, complete)
+            if request.kind == "read":
+                self.stack.read_register(switch, request.reg_name,
+                                         request.index, complete)
+            else:
+                self.stack.write_register(switch, request.reg_name,
+                                          request.index, request.value,
+                                          complete)
 
     def _on_complete(self, request: _QueuedRequest, ok: bool,
                      value: int) -> None:

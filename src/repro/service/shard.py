@@ -335,25 +335,39 @@ class ShardWorker:
             self._gauge_queue.set(0)
 
     def _top_up(self) -> None:
-        """Issue from the FIFO head while the window has room."""
+        """Issue from the FIFO head while the window has room.
+
+        Register ops drain through :meth:`BatchController.submit_many`
+        so a refill becomes per-switch bursts the stack can sign with
+        one ``sign_many`` call (the vectorized digest lane at scale).
+        A rollover op flushes the accumulated run first — everything
+        submitted before it still issues before it, preserving the FIFO
+        guarantee interleaved clients rely on.
+        """
+        reg_ops: List[ShardOp] = []
         while self._pending and self._outstanding < self.issue_window:
             op = self._pending.popleft()
             self._outstanding += 1
             if self.stats.first_issue_at is None:
                 self.stats.first_issue_at = self.sim.now
-            if op.kind == "read":
-                self.batch.read_register(
-                    op.switch, op.reg_name, op.index,
-                    lambda ok, value, op=op: self._op_done(op, ok, value))
-            elif op.kind == "write":
-                self.batch.write_register(
-                    op.switch, op.reg_name, op.index, op.value,
-                    lambda ok, value, op=op: self._op_done(op, ok, value))
-            else:
+            if op.kind == "rollover":
+                self._flush_reg_ops(reg_ops)
+                reg_ops = []
                 self._issue_rollover(op)
+            else:
+                reg_ops.append(op)
+        self._flush_reg_ops(reg_ops)
         if self._gauge_in_flight is not None:
             self._gauge_in_flight.set(self._outstanding)
             self._gauge_queue.set(len(self._pending))
+
+    def _flush_reg_ops(self, reg_ops: List[ShardOp]) -> None:
+        if not reg_ops:
+            return
+        self.batch.submit_many([
+            (op.kind, op.switch, op.reg_name, op.index, op.value,
+             lambda ok, value, op=op: self._op_done(op, ok, value))
+            for op in reg_ops])
 
     def _issue_rollover(self, op: ShardOp) -> None:
         waiting = self._rollover_waiting.setdefault(op.switch, deque())

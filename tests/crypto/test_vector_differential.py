@@ -1,0 +1,314 @@
+"""Differential battery for the vectorized digest lanes.
+
+The vector lane is only admissible if it is *bit-identical* to the
+scalar lane — Eqn 4 tags are wire bytes, so a single divergent lane
+would make signatures verify or fail depending on host batch size.
+This module pins :mod:`repro.crypto.vectorized` three independent ways:
+
+- against the repo's scalar classes (:class:`HalfSipHash`,
+  :class:`Crc32`) — the lane-equivalence contract;
+- against the from-scratch references in
+  :mod:`tests.crypto.test_differential` (transcribed C HalfSipHash,
+  bit-serial CRC) and stdlib ``zlib.crc32`` — no shared code at all;
+- against the pinned known-answer corpus
+  ``tests/crypto/vectors_halfsiphash.json`` — immune to a bug that
+  lands in every live implementation at once.
+
+Every sweep runs on **both backends**: numpy (skipped when genuinely
+absent) and the pure-stdlib fallback (``force_stdlib=True``), so the
+CI leg with ``REPRO_NO_NUMPY=1`` exercises the same assertions.
+Batch sizes straddle the ``DigestEngine.VECTOR_THRESHOLD`` crossover
+(1, 2, 31, 32, 33) and go to 4096; message lengths cover 0..257 bytes
+— empty input, every tail residue mod 4, and the 256-boundary where
+the ``len & 0xFF`` final-word byte wraps.
+"""
+
+import json
+import random
+import zlib
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import vectorized
+from repro.crypto.crc import Crc32
+from repro.crypto.halfsiphash import HalfSipHash
+from tests.crypto.test_differential import (
+    _ref_crc32_bitserial,
+    _ref_halfsiphash,
+)
+
+MASK32 = 0xFFFFFFFF
+#: Batch sizes straddling DigestEngine.VECTOR_THRESHOLD (32) plus the
+#: bench-scale point.
+BATCH_SIZES = (1, 2, 31, 32, 33, 4096)
+#: Message lengths covering 0, every residue mod 4, and the 255/256/257
+#: boundary where the length byte in the final word wraps.
+EDGE_LENGTHS = (0, 1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 32, 33,
+                63, 64, 65, 127, 128, 255, 256, 257)
+
+VECTORS_PATH = Path(__file__).parent / "vectors_halfsiphash.json"
+
+needs_numpy = pytest.mark.skipif(not vectorized.HAVE_NUMPY,
+                                 reason="numpy unavailable")
+
+BACKENDS = [
+    pytest.param(True, id="stdlib"),
+    pytest.param(False, id="numpy", marks=needs_numpy),
+]
+
+
+def _messages(rng: random.Random, count: int) -> list:
+    return [rng.randbytes(rng.choice(EDGE_LENGTHS)) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# pinned known-answer corpus
+# ---------------------------------------------------------------------------
+
+def _load_vectors():
+    with VECTORS_PATH.open() as fh:
+        return json.load(fh)["vectors"]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+def test_kat_corpus_digest_many(force_stdlib):
+    """Every pinned vector, replayed through the batch API per (c, d)."""
+    by_params = {}
+    for vec in _load_vectors():
+        by_params.setdefault((vec["c"], vec["d"]), []).append(vec)
+    assert sum(len(v) for v in by_params.values()) >= 100
+    for (c, d), vecs in by_params.items():
+        for vec in vecs:
+            key = int.from_bytes(bytes.fromhex(vec["key"]), "little")
+            tags = vectorized.digest_many(
+                key, [bytes.fromhex(vec["msg"])],
+                compression_rounds=c, finalization_rounds=d,
+                force_stdlib=force_stdlib)
+            assert tags == [vec["tag"]], \
+                f"KAT mismatch c={c} d={d} key={vec['key']} msg={vec['msg']}"
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+def test_kat_corpus_as_one_batch(force_stdlib):
+    """The same corpus as whole batches — exercises length-grouping."""
+    by_params = {}
+    for vec in _load_vectors():
+        by_params.setdefault((vec["c"], vec["d"]), []).append(vec)
+    for (c, d), vecs in by_params.items():
+        key0 = vecs[0]["key"]
+        same_key = [v for v in vecs if v["key"] == key0]
+        key = int.from_bytes(bytes.fromhex(key0), "little")
+        tags = vectorized.digest_many(
+            key, [bytes.fromhex(v["msg"]) for v in same_key],
+            compression_rounds=c, finalization_rounds=d,
+            force_stdlib=force_stdlib)
+        assert tags == [v["tag"] for v in same_key]
+
+
+def test_kat_corpus_scalar_class_agrees():
+    """The scalar classes themselves still match the pinned corpus."""
+    for vec in _load_vectors():
+        engine = HalfSipHash(compression_rounds=vec["c"],
+                             finalization_rounds=vec["d"])
+        key = int.from_bytes(bytes.fromhex(vec["key"]), "little")
+        assert engine.digest(key, bytes.fromhex(vec["msg"])) == vec["tag"]
+
+
+# ---------------------------------------------------------------------------
+# vector lane vs scalar classes (the lane-equivalence contract)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_digest_many_matches_scalar_class(batch, force_stdlib):
+    rng = random.Random(0xD1F0 + batch)
+    engine = HalfSipHash()
+    key = rng.getrandbits(64)
+    messages = _messages(rng, batch)
+    tags = vectorized.digest_many(key, messages, force_stdlib=force_stdlib)
+    assert tags == [engine.digest(key, m) for m in messages]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_digest_many_from_state_matches_scalar_class(batch, force_stdlib):
+    rng = random.Random(0x57A7E + batch)
+    engine = HalfSipHash()
+    key = rng.getrandbits(64)
+    state = engine.key_schedule(key)
+    messages = _messages(rng, batch)
+    tags = vectorized.digest_many_from_state(state, messages,
+                                             force_stdlib=force_stdlib)
+    assert tags == [engine.digest_from_state(state, m) for m in messages]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_crc32_many_keyed_matches_scalar_class(batch, force_stdlib):
+    rng = random.Random(0xC4C + batch)
+    engine = Crc32()
+    key = rng.getrandbits(64)
+    datas = _messages(rng, batch)
+    tags = vectorized.crc32_many_keyed(key, datas, engine=engine,
+                                       force_stdlib=force_stdlib)
+    assert tags == [engine.compute_keyed(key, d) for d in datas]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_crc32_many_matches_scalar_class(batch, force_stdlib):
+    rng = random.Random(0x32 + batch)
+    engine = Crc32()
+    datas = _messages(rng, batch)
+    tags = vectorized.crc32_many(datas, engine=engine,
+                                 force_stdlib=force_stdlib)
+    assert tags == [engine.compute(d) for d in datas]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+def test_nondefault_rounds_match_scalar_class(force_stdlib):
+    """HalfSipHash-1-3 (the lighter parameterization) must track too."""
+    rng = random.Random(0x13)
+    engine = HalfSipHash(compression_rounds=1, finalization_rounds=3)
+    key = rng.getrandbits(64)
+    messages = _messages(rng, 64)
+    tags = vectorized.digest_many(key, messages,
+                                  compression_rounds=1,
+                                  finalization_rounds=3,
+                                  force_stdlib=force_stdlib)
+    assert tags == [engine.digest(key, m) for m in messages]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+def test_empty_batch_is_empty(force_stdlib):
+    assert vectorized.digest_many(1, [], force_stdlib=force_stdlib) == []
+    assert vectorized.crc32_many([], force_stdlib=force_stdlib) == []
+    assert vectorized.crc32_many_keyed(1, [],
+                                       force_stdlib=force_stdlib) == []
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+def test_all_edge_lengths_in_one_batch(force_stdlib):
+    """One batch containing every edge length — grouping must reassemble
+    results in submission order, not length order."""
+    rng = random.Random(0x1E56)
+    engine = HalfSipHash()
+    crc = Crc32()
+    key = rng.getrandbits(64)
+    messages = [rng.randbytes(length) for length in EDGE_LENGTHS]
+    assert vectorized.digest_many(key, messages,
+                                  force_stdlib=force_stdlib) \
+        == [engine.digest(key, m) for m in messages]
+    assert vectorized.crc32_many_keyed(key, messages, engine=crc,
+                                       force_stdlib=force_stdlib) \
+        == [crc.compute_keyed(key, m) for m in messages]
+
+
+# ---------------------------------------------------------------------------
+# vector lane vs the independent references (no shared code)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+def test_digest_many_matches_independent_reference(force_stdlib):
+    rng = random.Random(0x5EF)
+    key = rng.getrandbits(64)
+    messages = _messages(rng, 200)
+    tags = vectorized.digest_many(key, messages, force_stdlib=force_stdlib)
+    key_bytes = key.to_bytes(8, "little")
+    assert tags == [_ref_halfsiphash(2, 4, key_bytes, m) for m in messages]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+def test_crc32_many_matches_zlib_and_bitserial(force_stdlib):
+    rng = random.Random(0x21B)
+    datas = _messages(rng, 200)
+    tags = vectorized.crc32_many(datas, force_stdlib=force_stdlib)
+    assert tags == [zlib.crc32(d) & MASK32 for d in datas]
+    assert tags == [_ref_crc32_bitserial(d) for d in datas]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+def test_crc32_many_keyed_is_crc_of_key_prefixed_data(force_stdlib):
+    """The keyed form must equal an independent CRC over key || data —
+    the exact byte stream the P4 program feeds the hash unit."""
+    rng = random.Random(0x6E7)
+    key = rng.getrandbits(64)
+    datas = _messages(rng, 200)
+    tags = vectorized.crc32_many_keyed(key, datas,
+                                       force_stdlib=force_stdlib)
+    prefix = key.to_bytes(8, "little")
+    assert tags == [zlib.crc32(prefix + d) & MASK32 for d in datas]
+
+
+# ---------------------------------------------------------------------------
+# hypothesis property sweeps
+# ---------------------------------------------------------------------------
+
+_keys = st.integers(min_value=0, max_value=(1 << 64) - 1)
+_message_lists = st.lists(st.binary(min_size=0, max_size=257),
+                          min_size=0, max_size=40)
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+@settings(max_examples=60, deadline=None)
+@given(key=_keys, messages=_message_lists)
+def test_property_digest_many_bit_identical(force_stdlib, key, messages):
+    engine = HalfSipHash()
+    assert vectorized.digest_many(key, messages,
+                                  force_stdlib=force_stdlib) \
+        == [engine.digest(key, m) for m in messages]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+@settings(max_examples=60, deadline=None)
+@given(key=_keys, messages=_message_lists)
+def test_property_digest_many_matches_reference(force_stdlib, key,
+                                                messages):
+    key_bytes = key.to_bytes(8, "little")
+    assert vectorized.digest_many(key, messages,
+                                  force_stdlib=force_stdlib) \
+        == [_ref_halfsiphash(2, 4, key_bytes, m) for m in messages]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+@settings(max_examples=60, deadline=None)
+@given(key=_keys, datas=_message_lists)
+def test_property_crc32_many_keyed_bit_identical(force_stdlib, key, datas):
+    engine = Crc32()
+    assert vectorized.crc32_many_keyed(key, datas, engine=engine,
+                                       force_stdlib=force_stdlib) \
+        == [engine.compute_keyed(key, d) for d in datas]
+
+
+@pytest.mark.parametrize("force_stdlib", BACKENDS)
+@settings(max_examples=60, deadline=None)
+@given(datas=_message_lists)
+def test_property_crc32_many_matches_zlib(force_stdlib, datas):
+    assert vectorized.crc32_many(datas, force_stdlib=force_stdlib) \
+        == [zlib.crc32(d) & MASK32 for d in datas]
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=_keys, messages=st.lists(st.binary(max_size=64),
+                                    min_size=1, max_size=16))
+def test_property_backends_agree(key, messages):
+    """numpy and stdlib backends of the vector lane agree with each
+    other (skip-free: degenerates to stdlib==stdlib without numpy)."""
+    assert vectorized.digest_many(key, messages) \
+        == vectorized.digest_many(key, messages, force_stdlib=True)
+    assert vectorized.crc32_many_keyed(key, messages) \
+        == vectorized.crc32_many_keyed(key, messages, force_stdlib=True)
+
+
+# ---------------------------------------------------------------------------
+# backend gating
+# ---------------------------------------------------------------------------
+
+def test_backend_reports_active_lane():
+    assert vectorized.backend() in ("numpy", "stdlib")
+    if vectorized.HAVE_NUMPY:
+        assert vectorized.backend() == "numpy"
+    else:
+        assert vectorized.backend() == "stdlib"

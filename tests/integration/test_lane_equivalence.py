@@ -1,0 +1,91 @@
+"""Lane equivalence, end to end: the vector digest lane is invisible.
+
+Forcing the vector lane on or off must change *nothing observable* —
+not the bytes on any control channel, not the sequence numbers, not the
+experiment result payloads.  If it did, a deployment's security behavior
+would depend on the controller's host batch size, which is exactly the
+coupling :mod:`repro.core.digest` promises cannot exist.
+
+Two probes:
+
+- a wire tap on every control channel of a P4Auth fabric, diffing the
+  full per-switch byte streams between a scalar-lane and a
+  vector-lane deployment driving the identical workload;
+- the ``cdp_batch_throughput`` experiment's ``batched`` vs
+  ``vectorized`` trials, whose result payloads (virtual-time numbers;
+  deliberately lane-free) must be identical.
+"""
+
+from repro.core.wire import serialize_message
+from repro.engine import canonical_json, run_experiment, to_jsonable
+from repro.experiments.cdp_batch import (
+    build_batch_deployment,
+    run_batch_workload,
+)
+
+M, DEGREE, SEED = 5, 4, 3
+
+
+def _drive(digest_lane: str, mode: str):
+    """Deploy P4Auth on the small fabric, tap every control channel,
+    run the standard workload; returns (per-switch wire, result, stack)."""
+    sim, net, stack, switches = build_batch_deployment(
+        "P4Auth", m=M, degree=DEGREE, seed=SEED, digest_lane=digest_lane)
+    wires = {name: [] for name in switches}
+
+    def tap_for(name):
+        def tap(packet, direction):
+            if direction == "c->dp" and packet.has("p4auth"):
+                wires[name].append(serialize_message(packet))
+            return packet
+        return tap
+
+    for name in switches:
+        net.control_channels[name].add_tap(tap_for(name))
+    result = run_batch_workload(sim, stack, switches, mode=mode,
+                                requests_per_switch=4, max_in_flight=4)
+    assert result["completed"] == result["submitted"] == M * 4
+    return wires, result, stack
+
+
+def test_wire_streams_byte_identical_across_lanes():
+    """Scalar-lane batched vs vector-lane vectorized: every switch sees
+    the exact same control-channel bytes in the exact same order."""
+    scalar_wires, scalar_result, scalar_stack = _drive("scalar", "batched")
+    vector_wires, vector_result, vector_stack = _drive("vector",
+                                                       "vectorized")
+    assert set(scalar_wires) == set(vector_wires)
+    for name in scalar_wires:
+        assert scalar_wires[name], f"no tapped traffic for {name}"
+        assert scalar_wires[name] == vector_wires[name], \
+            f"wire divergence on {name}"
+    # The lanes really did differ — this was not scalar vs scalar.
+    assert scalar_stack.digest.vector_batches == 0
+    assert scalar_stack.digest.scalar_batches > 0
+    assert vector_stack.digest.vector_batches > 0
+    assert vector_stack.digest.scalar_batches == 0
+    # And the virtual-time outcomes agree too.
+    assert scalar_result["throughput_rps"] == vector_result["throughput_rps"]
+
+
+def test_auto_lane_also_byte_identical():
+    """The default ``auto`` policy (whatever it picks at this window
+    size) sits on the same wire stream as the forced lanes."""
+    scalar_wires, _, _ = _drive("scalar", "batched")
+    auto_wires, _, _ = _drive("auto", "batched")
+    assert auto_wires == scalar_wires
+
+
+def test_experiment_payloads_identical_across_modes():
+    """``batched`` and ``vectorized`` trials of cdp_batch_throughput
+    report identical (virtual-time) payloads: same throughput, RCTs,
+    window high-water — everything except the ``mode`` label itself."""
+    run = run_experiment(
+        "cdp_batch_throughput", short=True, cache=False,
+        sweep={"stack": ["P4Auth"], "mode": ["batched", "vectorized"]})
+    batched = dict(run.result_for(mode="batched"))
+    vectorized = dict(run.result_for(mode="vectorized"))
+    assert batched.pop("mode") == "batched"
+    assert vectorized.pop("mode") == "vectorized"
+    assert canonical_json(to_jsonable(batched)) \
+        == canonical_json(to_jsonable(vectorized))
