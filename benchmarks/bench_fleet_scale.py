@@ -1,0 +1,124 @@
+"""Fleet scale — region-sharded 10k-switch fabrics (ROADMAP item 3).
+
+Drives the ``fleet_scale`` experiment at m in {1k, 4k, 10k}: the fleet
+is split into regions, each with its own simulator/controller/key
+authority, and the regions are sharded across OS workers by the same
+bounded-load consistent-hash ring that shards the controller service.
+Phase A measures the full per-region lifecycle (bootstrap, rollover,
+batched C-DP writes with ground-truth verification); Phase B rebuilds
+the fleet as one lockstep world and runs a coordinated rollover with
+live boundary traffic under the cross-region two-version invariant.
+
+Speedup is asserted two ways, because CI hosts vary:
+
+* **partition speedup** — sum of serial per-region walls over the
+  slowest worker's group (through the real ring assignment).  This is
+  host-independent (it only uses measured serial walls) and must be
+  >= 3x at 4 workers.
+* **measured speedup** — workers=1 wall over workers=4 wall for the
+  region phase.  Only asserted when the host actually has >= 4 cores;
+  a 1-core container runs the pool but cannot go faster.
+
+The trial itself enforces the security invariants (zero forged
+register end-states, controller/DP sequence agreement, zero boundary
+two-version violations) — a violation raises rather than shipping a
+worse number.
+"""
+
+import os
+
+from repro.analysis import format_table
+from repro.engine import load_artifact, run_experiment
+from repro.engine.artifact import artifact_path
+from repro.engine.runner import assign_regions
+
+M_POINTS = [1000, 4000, 10000]
+WORKERS = [1, 4]
+
+
+def run_fleet_scale():
+    return run_experiment(
+        "fleet_scale",
+        sweep={"m": M_POINTS, "workers": WORKERS},
+        out_dir=".",
+    )
+
+
+def _region_wall(walls, region_id):
+    wall = walls[region_id]
+    return wall["bootstrap_s"] + wall["rollover_s"] + wall["workload_s"]
+
+
+def partition_speedup(result, workers):
+    """Serial work over the slowest worker's share, via the real ring."""
+    walls = result["wall"]["by_region"]
+    total = sum(_region_wall(walls, region_id) for region_id in walls)
+    assignment = assign_regions(sorted(walls), workers)
+    slowest = max(sum(_region_wall(walls, region_id)
+                      for region_id in group)
+                  for group in assignment.values() if group)
+    return total / slowest
+
+
+def test_fleet_scale(benchmark, report):
+    run = benchmark.pedantic(run_fleet_scale, rounds=1, iterations=1)
+    cpu_count = os.cpu_count() or 1
+
+    rows = []
+    for m in M_POINTS:
+        serial = run.result_for(m=m, workers=1)
+        sharded = run.result_for(m=m, workers=4)
+
+        # Sharding regions across workers is purely a wall-clock
+        # optimization: everything but the wall block is byte-identical.
+        assert {k: v for k, v in serial.items() if k != "wall"} \
+            == {k: v for k, v in sharded.items() if k != "wall"}
+
+        totals = serial["totals"]
+        boundary = serial["boundary"]
+        part = partition_speedup(serial, workers=4)
+        measured = (serial["wall"]["region_phase_s"]
+                    / sharded["wall"]["region_phase_s"])
+        rows.append([
+            m,
+            serial["regions"],
+            totals["bootstrap_ops"],
+            f"{totals['bootstrap_convergence_s'] * 1e3:.2f} ms",
+            totals["workload_completed"],
+            f"{serial['wall']['region_phase_s']:.1f} s",
+            f"{sharded['wall']['region_phase_s']:.1f} s",
+            f"{part:.2f}x",
+            f"{measured:.2f}x",
+        ])
+
+        # Security invariants at every scale point.
+        assert totals["forged_writes"] == 0
+        assert totals["seq_divergence_min"] == 0
+        assert totals["seq_divergence_max"] == 0
+        assert boundary is not None
+        assert boundary["consistency"]["boundary_violations"] == 0
+        assert boundary["consistency"]["seq_divergence_min"] >= 0
+        assert boundary["writes_ok"] == boundary["writes_in_window"]
+
+        # The acceptance floor: >= 3x bootstrap speedup at 4 workers.
+        assert part >= 3.0
+        if cpu_count >= 4:
+            assert measured >= 3.0
+
+    report(format_table(
+        ["m", "regions", "bootstrap ops", "fleet bootstrap (virtual)",
+         "writes ok", "wall x1", "wall x4", "partition", "measured"],
+        rows,
+        title=("Region-sharded fleet lifecycle (Phase A walls, "
+               "Phase B boundary invariants enforced)")))
+    report(f"host cpu_count={cpu_count}; measured wall speedup is "
+           f"asserted only on hosts with >= 4 cores — the partition "
+           f"speedup (serial walls through the real ring assignment) "
+           f"is the host-independent acceptance number")
+
+    # The artifact the run published is schema-valid and complete.
+    document = load_artifact(artifact_path("fleet_scale", "."))
+    assert document["experiment"] == "fleet_scale"
+    assert len(document["trials"]) == len(M_POINTS) * len(WORKERS)
+    for trial in document["trials"]:
+        assert trial["result"]["wall"]["cpu_count"] == cpu_count

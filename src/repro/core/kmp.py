@@ -632,3 +632,353 @@ class KeyManagementProtocol:
         if port not in neighbors:
             raise KeyError(f"({switch!r}, port {port}) has no switch neighbor")
         return neighbors[port]
+
+
+# ----------------------------------------------------------------------
+# hierarchical key management (region-sharded fleets)
+# ----------------------------------------------------------------------
+
+#: Convergence-time histogram buckets (virtual seconds): a regional
+#: bootstrap is a couple of C-DP round trips, a 10k-switch fleet rollover
+#: a few hundred milliseconds of virtual time.
+KMP_CONVERGENCE_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                           0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+@dataclass
+class RegionConvergence:
+    """One region-wide bootstrap or rollover round, timed in virtual time."""
+
+    region: str
+    op: str  # "bootstrap" | "rollover"
+    started_s: float
+    converged_s: float
+    completed: int
+    failed: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.converged_s - self.started_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"region": self.region, "op": self.op,
+                "duration_s": self.duration_s,
+                "completed": self.completed, "failed": self.failed}
+
+
+class RegionalKeyAuthority:
+    """A region's key authority: owns bootstrap/rollover for its subtree.
+
+    Thin coordination layer over the region controller's existing
+    :class:`KeyManagementProtocol` — the message flows (EAK, ADHKD,
+    redirected port exchanges) are untouched; the authority adds
+    region-scoped convergence tracking, per-region telemetry, and the
+    monotonic *rollover epoch* counter the cross-region two-version
+    invariant is stated over (key versions themselves are mod
+    ``KEY_VERSIONS`` slots, so only the completed-update count can order
+    two regions' progress).
+    """
+
+    def __init__(self, region_id: str, controller, telemetry=None):
+        self.region_id = region_id
+        self.c = controller
+        self.kmp: KeyManagementProtocol = controller.kmp
+        self.telemetry = telemetry if telemetry is not None \
+            else controller.telemetry
+        self.convergences: List[RegionConvergence] = []
+        self.bootstraps = 0
+        self.rollovers = 0
+        self._update_counts: Dict[str, int] = {}
+        self._rollover_active = False
+
+    # -- per-switch progress ----------------------------------------------
+
+    def rollover_epoch(self, switch: str) -> int:
+        """Completed local-key updates for ``switch`` (monotonic)."""
+        return self._update_counts.get(switch, 0)
+
+    def switches(self) -> List[str]:
+        return sorted(self.c.dataplanes)
+
+    # -- operations --------------------------------------------------------
+
+    def bootstrap(self, on_done: Optional[Callable[["RegionConvergence"],
+                                                   None]] = None) -> None:
+        """Bootstrap the whole subtree (locals then ports) and time it."""
+        started = self.c.sim.now
+        records_before = len(self.kmp.stats.records)
+        failures_before = len(self.kmp.stats.failures)
+
+        def finish() -> None:
+            convergence = self._finish("bootstrap", started, records_before,
+                                       failures_before)
+            self.bootstraps += 1
+            if on_done is not None:
+                on_done(convergence)
+
+        self.kmp.bootstrap_all(on_done=finish)
+
+    def rollover(self, on_done: Optional[Callable[["RegionConvergence"],
+                                                  None]] = None) -> None:
+        """Roll every local and port key in the subtree; resolve fully.
+
+        Completion (or abandonment after the KMP's bounded retries) of
+        every issued update fires ``on_done`` — a blacked-out switch
+        cannot hang the fleet rollover.  Each completed *local* update
+        bumps the switch's rollover epoch.
+        """
+        if self._rollover_active:
+            raise RuntimeError(
+                f"region {self.region_id!r}: rollover already in flight")
+        self._rollover_active = True
+        started = self.c.sim.now
+        records_before = len(self.kmp.stats.records)
+        failures_before = len(self.kmp.stats.failures)
+        locals_due = [switch for switch in self.switches()
+                      if self.c.keys.has_local_key(switch)]
+        ports_due = []
+        for sw_a, port_a, _sw_b, _port_b in self.kmp.switch_links():
+            dataplane = self.c.dataplanes.get(sw_a)
+            if dataplane is not None and dataplane.keys.has_port_key(port_a):
+                ports_due.append((sw_a, port_a))
+        outstanding = ({("local", switch) for switch in locals_due}
+                       | {("port", switch, port)
+                          for switch, port in ports_due})
+        hooks: List[Callable[[KmpFailure], None]] = []
+
+        def finish() -> None:
+            self._rollover_active = False
+            if hooks:
+                self.kmp.on_abandoned.remove(hooks.pop())
+            convergence = self._finish("rollover", started, records_before,
+                                       failures_before)
+            self.rollovers += 1
+            if on_done is not None:
+                on_done(convergence)
+
+        def resolve(key: tuple) -> None:
+            outstanding.discard(key)
+            if not outstanding:
+                finish()
+
+        def local_done(record: KmpOpRecord) -> None:
+            self._update_counts[record.switch] = \
+                self._update_counts.get(record.switch, 0) + 1
+            resolve(("local", record.switch))
+
+        def on_abandon(failure: KmpFailure) -> None:
+            if failure.op == "local_update":
+                resolve(("local", failure.switch))
+            elif failure.op == "port_update":
+                resolve(("port", failure.switch, failure.port))
+
+        if not outstanding:
+            finish()
+            return
+        hooks.append(on_abandon)
+        self.kmp.on_abandoned.append(on_abandon)
+        for switch in locals_due:
+            self.kmp.local_key_update(switch, on_done=local_done)
+        for switch, port in ports_due:
+            self.kmp.port_key_update(
+                switch, port,
+                on_done=lambda r: resolve(("port", r.switch, r.port)))
+
+    # -- consistency surfaces ----------------------------------------------
+
+    def seq_divergence(self) -> Dict[str, int]:
+        """Per switch: controller next-seq minus the DP's expected seq.
+
+        Always >= 0 in an unforged fleet (the data plane only advances on
+        controller-signed messages) and exactly 0 once every issued
+        message has been delivered and verified — a negative value means
+        someone advanced the DP without the controller, i.e. a forged
+        write.
+        """
+        divergence: Dict[str, int] = {}
+        for switch in self.switches():
+            dataplane = self.c.dataplanes[switch]
+            expected = dataplane.switch.registers.get(
+                "p4auth_expected_seq").read(0)
+            divergence[switch] = self.c._seq[switch] - expected
+        return divergence
+
+    def tamper_indicators(self) -> Dict[str, int]:
+        """Controller+DP counters that a forged write would have to trip."""
+        stats = self.c.stats
+        totals = {"tampered_responses": stats.tampered_responses,
+                  "unsolicited_responses": stats.unsolicited_responses,
+                  "unsolicited_nacks": stats.unsolicited_nacks,
+                  "digest_fail_cdp": 0, "digest_fail_dpdp": 0,
+                  "replays_detected": 0, "alerts_raised": 0}
+        for dataplane in self.c.dataplanes.values():
+            totals["digest_fail_cdp"] += dataplane.stats.digest_fail_cdp
+            totals["digest_fail_dpdp"] += dataplane.stats.digest_fail_dpdp
+            totals["replays_detected"] += dataplane.stats.replays_detected
+            totals["alerts_raised"] += dataplane.stats.alerts_raised
+        return totals
+
+    # -- internals ---------------------------------------------------------
+
+    def _finish(self, op: str, started: float, records_before: int,
+                failures_before: int) -> RegionConvergence:
+        convergence = RegionConvergence(
+            region=self.region_id, op=op, started_s=started,
+            converged_s=self.c.sim.now,
+            completed=len(self.kmp.stats.records) - records_before,
+            failed=len(self.kmp.stats.failures) - failures_before)
+        self.convergences.append(convergence)
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.counter(f"kmp_region_{op}_total",
+                            region=self.region_id).inc()
+            metrics.histogram("kmp_region_convergence_seconds",
+                              buckets=KMP_CONVERGENCE_BUCKETS,
+                              region=self.region_id,
+                              op=op).observe(convergence.duration_s)
+        return convergence
+
+
+class HierarchicalKMP:
+    """Root coordinator over the per-region key authorities (ROADMAP 3).
+
+    Coordinates fleet-wide bootstrap and rollover across a
+    :class:`~repro.net.region.RegionalWorld`, and states the cross-region
+    **two-version-update invariant**: while a coordinated rollover is in
+    flight, the rollover epochs of the two endpoints of any boundary
+    link may differ by at most one — i.e. any key a boundary peer could
+    reasonably hold is either the old or the new version, never older
+    (the paper's §VI-C two-slot window, lifted from one switch to the
+    region graph).  The invariant is sampled at lockstep epoch barriers,
+    where every region agrees on the clock.
+    """
+
+    def __init__(self, world, authorities: Dict[str, RegionalKeyAuthority]):
+        self.world = world
+        missing = [region.id for region in world.regions
+                   if region.id not in authorities]
+        if missing:
+            raise ValueError(f"regions without a key authority: {missing}")
+        self.authorities = {region.id: authorities[region.id]
+                            for region in world.regions}
+        self.boundary_violations: List[Dict[str, object]] = []
+        self._monitor_hook: Optional[Callable[[float], None]] = None
+
+    # -- fleet operations --------------------------------------------------
+
+    def bootstrap_fleet(self, deadline_s: float = 30.0) -> Dict[str, object]:
+        """Bootstrap every region concurrently; barrier on full resolution."""
+        return self._fleet_round("bootstrap", deadline_s, monitor=False)
+
+    def rollover_fleet(self, deadline_s: float = 30.0,
+                       monitor: bool = True) -> Dict[str, object]:
+        """One coordinated rollover round across all regions.
+
+        With ``monitor=True`` the two-version invariant is checked at
+        every lockstep barrier for the duration of the round; violations
+        accumulate in :attr:`boundary_violations` and the returned
+        summary.
+        """
+        return self._fleet_round("rollover", deadline_s, monitor=monitor)
+
+    def _fleet_round(self, op: str, deadline_s: float,
+                     monitor: bool) -> Dict[str, object]:
+        done: Dict[str, RegionConvergence] = {}
+        violations_before = len(self.boundary_violations)
+        if monitor:
+            self._arm_monitor()
+        try:
+            for region_id, authority in self.authorities.items():
+                start = (authority.bootstrap if op == "bootstrap"
+                         else authority.rollover)
+                start(on_done=lambda conv, rid=region_id:
+                      done.__setitem__(rid, conv))
+            converged = self.world.run_until(
+                lambda: len(done) == len(self.authorities),
+                deadline=self.world.now + deadline_s)
+        finally:
+            if monitor:
+                self._disarm_monitor()
+        regions = {region_id: done[region_id].as_dict()
+                   for region_id in sorted(done)}
+        return {
+            "op": op,
+            "converged": converged,
+            "regions": regions,
+            "duration_s": (max((c["duration_s"] for c in regions.values()),
+                               default=0.0)),
+            "failed": sum(c["failed"] for c in regions.values()),
+            "boundary_violations":
+                len(self.boundary_violations) - violations_before,
+        }
+
+    # -- two-version invariant ---------------------------------------------
+
+    def boundary_epoch_gaps(self) -> List[Dict[str, object]]:
+        """Rollover-epoch delta across every boundary link, right now."""
+        gaps = []
+        for link in self.world.boundary_links:
+            epoch_a = self.authorities[link.region_a].rollover_epoch(
+                link.switch_a)
+            epoch_b = self.authorities[link.region_b].rollover_epoch(
+                link.switch_b)
+            gaps.append({
+                "link": f"{link.switch_a}<->{link.switch_b}",
+                "epoch_a": epoch_a, "epoch_b": epoch_b,
+                "gap": abs(epoch_a - epoch_b),
+            })
+        return gaps
+
+    def check_two_version_invariant(self) -> List[Dict[str, object]]:
+        """Boundary links whose endpoints are more than one rollover apart."""
+        return [gap for gap in self.boundary_epoch_gaps() if gap["gap"] > 1]
+
+    def _arm_monitor(self) -> None:
+        if self._monitor_hook is not None:
+            return
+
+        def check(barrier_s: float) -> None:
+            for gap in self.check_two_version_invariant():
+                violation = dict(gap)
+                violation["at_s"] = barrier_s
+                self.boundary_violations.append(violation)
+
+        self._monitor_hook = check
+        self.world.on_epoch.append(check)
+
+    def _disarm_monitor(self) -> None:
+        if self._monitor_hook is not None:
+            self.world.on_epoch.remove(self._monitor_hook)
+            self._monitor_hook = None
+
+    # -- fleet consistency surfaces ----------------------------------------
+
+    def seq_divergence(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for authority in self.authorities.values():
+            merged.update(authority.seq_divergence())
+        return merged
+
+    def tamper_indicators(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for authority in self.authorities.values():
+            for key, value in authority.tamper_indicators().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def consistency_report(self) -> Dict[str, object]:
+        """The acceptance surface: forged-write and divergence evidence."""
+        divergence = self.seq_divergence()
+        return {
+            "seq_divergence_max": max(divergence.values(), default=0),
+            "seq_divergence_min": min(divergence.values(), default=0),
+            # KMP control messages consume controller seqs without
+            # touching the DP's reg-op replay register, so a positive lag
+            # here is normal after key operations; only a *negative*
+            # divergence (DP ahead) indicates forgery.
+            "switches_with_kmp_seq_lag":
+                sum(1 for v in divergence.values() if v),
+            "tamper_indicators": self.tamper_indicators(),
+            "boundary_violations": len(self.boundary_violations),
+        }

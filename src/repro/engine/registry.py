@@ -32,6 +32,7 @@ CATALOG_MODULES = (
     "repro.experiments.cdp_service_load",
     "repro.experiments.digest_vector",
     "repro.experiments.fct_inflation",
+    "repro.experiments.fleet_scale",
     "repro.experiments.int_manipulation",
     "repro.runtime.comparison",
     "repro.faults.scenarios",

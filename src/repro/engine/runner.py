@@ -188,6 +188,71 @@ class Runner:
             return pool.map(_worker_job, jobs)
 
 
+def assign_regions(region_ids: Sequence[str],
+                   workers: int) -> Dict[str, List[str]]:
+    """Region -> worker ownership via the bounded-load consistent ring.
+
+    The same :class:`~repro.service.shardmap.ShardMap` that shards the
+    service fleet assigns whole regions to engine workers, so adding a
+    worker re-homes few regions and no worker owns more than its
+    bounded-load share.  Pure function of ``(region_ids, workers)``.
+
+    Unlike switch sharding (many items per shard, where 1.15x slack
+    smooths the ring), regions are few and heavy: the load factor is
+    pinned to 1.0 so the cap equals the fair share and no worker idles
+    while another owns two regions — the wall-clock speedup of the
+    region phase is set by the most loaded worker.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    # Imported here, not at module level: repro.service pulls in the
+    # daemon (and through it the runtime stacks), which import the
+    # engine registry — a top-level import would close that cycle.
+    from repro.service.shardmap import ShardMap
+    ring = ShardMap([f"worker-{index}" for index in range(workers)])
+    return ring.assign(sorted(region_ids), load_factor=1.0)
+
+
+def _region_group_job(job) -> List[Any]:
+    """Pool target: run one worker's whole region group in-process."""
+    task, region_ids = job
+    return [task(region_id) for region_id in region_ids]
+
+
+def run_region_tasks(task, region_ids: Sequence[str],
+                     workers: int = 1) -> Dict[str, Any]:
+    """Run ``task(region_id)`` for every region, sharded across workers.
+
+    Each worker owns *whole* regions (never half a region), results come
+    back keyed by region id in sorted order, and the returned mapping is
+    byte-identical for any worker count — parallelism is purely a
+    wall-clock optimization, exactly like the trial runner.
+
+    Nested inside a daemonic pool worker (an engine trial already running
+    under ``workers > 1``) multiprocessing cannot fork again; the call
+    transparently degrades to inline execution with identical results.
+    """
+    ordered = sorted(region_ids)
+    if len(set(ordered)) != len(ordered):
+        raise ValueError("duplicate region ids")
+    inline = (workers <= 1 or len(ordered) <= 1
+              or multiprocessing.current_process().daemon)
+    if inline:
+        return {region_id: task(region_id) for region_id in ordered}
+    assignment = assign_regions(ordered, workers)
+    groups = [group for _worker, group in sorted(assignment.items())
+              if group]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ctx.Pool(processes=len(groups)) as pool:
+        outputs = pool.map(_region_group_job,
+                           [(task, group) for group in groups])
+    merged: Dict[str, Any] = {}
+    for group, results in zip(groups, outputs):
+        merged.update(zip(group, results))
+    return {region_id: merged[region_id] for region_id in ordered}
+
+
 def run_experiment(name: str, sweep: Optional[Dict[str, Sequence]] = None,
                    workers: int = 1, base_seed: Optional[int] = None,
                    short: bool = False,
@@ -204,6 +269,8 @@ __all__ = [
     "RunResult",
     "Runner",
     "TrialRecord",
+    "assign_regions",
     "execute_trial",
     "run_experiment",
+    "run_region_tasks",
 ]

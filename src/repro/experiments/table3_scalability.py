@@ -158,8 +158,76 @@ def run_multidomain(total_switches: int = 200, domains: int = 8,
     )
 
 
-def _trial(ctx: TrialContext) -> ScalabilityResult:
+def run_table3_regional(m: int, regions: int, degree: int = 4,
+                        seed: int = 1) -> Dict[str, object]:
+    """Table III counts on a region-sharded fleet (the ROADMAP-3 shape).
+
+    Each region is its own controller + KMP subtree under a
+    :class:`~repro.core.kmp.HierarchicalKMP`; boundary links cross
+    administrative domains and carry no port keys, so the paper's
+    formulas apply per region with that region's (m, n).  The result
+    carries a ``regions_detail`` axis (one Table III row per region)
+    plus fleet totals.
+    """
+    # Local import: the flat regions=1 path must not drag in the whole
+    # fleet/batch machinery.
+    from repro.experiments.fleet_scale import build_fleet_deployment
+
+    world, extras, hier, controllers = build_fleet_deployment(
+        m, regions, degree=degree, seed=seed)
+    bootstrap = hier.bootstrap_fleet(deadline_s=30.0)
+    if not bootstrap["converged"] or bootstrap["failed"]:
+        raise RuntimeError(f"regional bootstrap failed: {bootstrap}")
+    init_counts = {region.id: len(controllers[region.id].kmp.stats.records)
+                   for region in world.regions}
+    rollover = hier.rollover_fleet(deadline_s=30.0)
+    if not rollover["converged"] or rollover["failed"]:
+        raise RuntimeError(f"regional rollover failed: {rollover}")
+    if rollover["boundary_violations"]:
+        raise RuntimeError(
+            f"two-version invariant violated: {hier.boundary_violations}")
+
+    detail = []
+    for region in world.regions:
+        kmp = controllers[region.id].kmp
+        init_records = kmp.stats.records[:init_counts[region.id]]
+        update_records = kmp.stats.records[init_counts[region.id]:]
+        n = extras["graphs"][region.id].number_of_edges()
+        expected = formulas(len(region.switches), n)
+        detail.append({
+            "region": region.id,
+            "m_switches": len(region.switches),
+            "n_links": n,
+            "init_messages": sum(r.messages for r in init_records),
+            "init_bytes": sum(r.bytes for r in init_records),
+            "update_messages": sum(r.messages for r in update_records),
+            "update_bytes": sum(r.bytes for r in update_records),
+            "formula_init_messages": expected["init_messages"],
+            "formula_update_messages": expected["update_messages"],
+        })
+    totals = {
+        key: sum(row[key] for row in detail)
+        for key in ("m_switches", "n_links", "init_messages", "init_bytes",
+                    "update_messages", "update_bytes",
+                    "formula_init_messages", "formula_update_messages")
+    }
+    return {
+        "m_switches": m,
+        "regions": regions,
+        "boundary_links": len(world.boundary_links),
+        "regions_detail": detail,
+        "totals": totals,
+        "bootstrap_convergence_s": bootstrap["duration_s"],
+        "rollover_convergence_s": rollover["duration_s"],
+        "boundary_violations": rollover["boundary_violations"],
+    }
+
+
+def _trial(ctx: TrialContext):
     p = ctx.params
+    if p.get("regions", 1) > 1:
+        return run_table3_regional(m=p["m"], regions=p["regions"],
+                                   degree=p["degree"], seed=p["seed"])
     return run_table3(m=p["m"], degree=p["degree"], seed=p["seed"])
 
 
@@ -168,8 +236,9 @@ SPEC = register(ExperimentSpec(
     title="KMP scalability on a live network",
     source="Table III",
     trial=_trial,
-    defaults={"m": 25, "degree": 4, "seed": 1},
+    defaults={"m": 25, "degree": 4, "seed": 1, "regions": 1},
     short={"m": 9},
     seed_param="seed",
+    spec_version=2,
     tags=("table", "kmp", "scalability"),
 ))

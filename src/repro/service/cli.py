@@ -34,6 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--m", type=int, default=25,
                         help="fleet size (switches sw0..sw<m-1>)")
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--regions", type=int, default=1,
+                        help="administrative regions (contiguous switch "
+                             "blocks; per-region KMP telemetry)")
     parser.add_argument("--max-in-flight", type=int, default=8,
                         help="per-switch pipelining window")
     parser.add_argument("--issue-window", type=int, default=32,
@@ -57,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def config_from_args(args) -> FleetConfig:
     kwargs = dict(stack=args.stack, m=args.m, shards=args.shards,
+                  regions=args.regions,
                   max_in_flight=args.max_in_flight,
                   issue_window=args.issue_window,
                   queue_depth=args.queue_depth, seed=args.seed)
@@ -73,7 +77,8 @@ async def _serve(args) -> int:
     config = service.config
     print(f"# repro.service listening on http://{args.host}:{port}")
     print(f"# fleet: stack={config.stack} m={config.m} "
-          f"shards={config.shards} issue_window={config.issue_window} "
+          f"shards={config.shards} regions={config.regions} "
+          f"issue_window={config.issue_window} "
           f"queue_depth={config.queue_depth}")
     for shard_id in config.shard_ids:
         owned = len(service.assignment[shard_id])
@@ -139,10 +144,14 @@ async def _smoke(args) -> int:
     status = await client.status()
     check("status shard table",
           len(status["shards"]) == service.config.shards)
+    check("status region table",
+          len(status["regions"]) == service.config.regions)
     metrics = await client.metrics()
     check("metrics exposition",
           "service_requests_total" in metrics
           and "service_shard_in_flight" in metrics)
+    check("region KMP telemetry",
+          "kmp_region_bootstrap_total" in metrics)
     try:
         await client.read("not-a-switch")
         check("unknown switch -> 404", False)

@@ -16,7 +16,7 @@ Endpoints (all JSON unless noted):
 ``POST /v1/write``     ``{switch, register, index, value}`` -> ``{ok}``
 ``POST /v1/batch``     ``{ops: [...]}`` -> ``{results: [...]}`` (FIFO order)
 ``POST /v1/rollover``  ``{switch?}`` -> per-switch key versions (P4Auth)
-``GET /fleet/status``  shard table + fleet aggregates
+``GET /fleet/status``  shard table + per-region telemetry + aggregates
 ``GET /metrics``       Prometheus text (unauthenticated scrape endpoint)
 ``GET /healthz``       liveness probe (unauthenticated)
 =====================  ======================================================
@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.kmp import KMP_CONVERGENCE_BUCKETS
 from repro.runtime.comparison import STACKS
 from repro.service.auth import RequestAuthenticator, TOKEN_HEADER
 from repro.service.shard import ShardOp, ShardOverload, ShardWorker
@@ -63,6 +64,9 @@ class FleetConfig:
     #: Fleet size; switches are named ``sw0 .. sw<m-1>``.
     m: int = 25
     shards: int = 2
+    #: Administrative regions (contiguous switch-index blocks ``r0 ..``);
+    #: purely an ownership/telemetry axis — shard routing is unchanged.
+    regions: int = 1
     registers: Tuple[Tuple[str, int, int], ...] = (("target", 64, 16),)
     #: Per-switch pipelining window inside each shard's issue engine.
     max_in_flight: int = 8
@@ -84,6 +88,8 @@ class FleetConfig:
             raise ValueError("fleet needs at least one switch")
         if not 1 <= self.shards <= self.m:
             raise ValueError("need 1 <= shards <= m")
+        if not 1 <= self.regions <= self.m:
+            raise ValueError("need 1 <= regions <= m")
 
     @property
     def switch_names(self) -> List[str]:
@@ -92,6 +98,22 @@ class FleetConfig:
     @property
     def shard_ids(self) -> List[str]:
         return [f"shard-{i}" for i in range(self.shards)]
+
+    @property
+    def region_ids(self) -> List[str]:
+        return [f"r{i}" for i in range(self.regions)]
+
+    def region_of(self, switch: str) -> str:
+        """Region owning a switch: near-even contiguous index blocks,
+        the same split :func:`repro.net.topology.region_sizes` uses."""
+        index = int(switch[2:])
+        if not 0 <= index < self.m:
+            raise KeyError(switch)
+        base, remainder = divmod(self.m, self.regions)
+        big_block = remainder * (base + 1)
+        if index < big_block:
+            return f"r{index // (base + 1)}"
+        return f"r{remainder + (index - big_block) // base}"
 
 
 @dataclass
@@ -135,6 +157,14 @@ class ControllerService:
             for index, shard_id in enumerate(config.shard_ids)
         }
         self._register_names = {name for name, _w, _s in config.registers}
+        self._region_switches: Dict[str, List[str]] = {
+            region_id: [] for region_id in config.region_ids}
+        for switch in config.switch_names:
+            self._region_switches[config.region_of(switch)].append(switch)
+        self._region_rollovers: Dict[str, int] = {
+            region_id: 0 for region_id in config.region_ids}
+        self._region_last_rollover_s: Dict[str, Optional[float]] = {
+            region_id: None for region_id in config.region_ids}
         self._started_monotonic: Optional[float] = None
         self._stopping = False
         self._routes = {
@@ -155,11 +185,24 @@ class ControllerService:
 
     async def start(self) -> None:
         """Build and bootstrap every shard, then start their workers."""
+        started = time.monotonic()
         for worker in self.workers.values():
             await worker.start()
             # Let the loop breathe between (synchronous) shard builds.
             await asyncio.sleep(0)
         self._started_monotonic = time.monotonic()
+        # Regions share the shard pool, so every region's keys converge
+        # when the last shard comes up; record that per region with the
+        # same metric names the lockstep RegionalKeyAuthority emits.
+        bootstrap_wall = self._started_monotonic - started
+        metrics = self.telemetry.metrics
+        for region_id in self.config.region_ids:
+            metrics.counter("kmp_region_bootstrap_total",
+                            region=region_id).inc()
+            metrics.histogram("kmp_region_convergence_seconds",
+                              buckets=KMP_CONVERGENCE_BUCKETS,
+                              region=region_id,
+                              op="bootstrap").observe(bootstrap_wall)
 
     async def stop(self) -> None:
         """Graceful drain: refuse new work, finish what's queued."""
@@ -218,12 +261,40 @@ class ControllerService:
                 f"stack {self.config.stack!r} has no key management")
         targets = [switch] if switch is not None \
             else list(self.config.switch_names)
-        futures = [self._submit(ShardOp("rollover", name))
-                   for name in targets]
-        outcomes = await asyncio.gather(*futures)
+        # Submit everything first (per-shard FIFO order is the target
+        # order), then settle region by region so each region's rollover
+        # convergence can be timed and exported under its own label.
+        futures = {name: self._submit(ShardOp("rollover", name))
+                   for name in targets}
+        by_region: Dict[str, List[str]] = {}
+        for name in targets:
+            by_region.setdefault(self.config.region_of(name), []).append(name)
+
+        async def settle_region(region_id: str, names: List[str]):
+            started = time.monotonic()
+            outcomes = await asyncio.gather(*(futures[name]
+                                              for name in names))
+            wall = time.monotonic() - started
+            self._region_rollovers[region_id] += 1
+            self._region_last_rollover_s[region_id] = wall
+            metrics = self.telemetry.metrics
+            metrics.counter("kmp_region_rollover_total",
+                            region=region_id).inc()
+            metrics.histogram("kmp_region_convergence_seconds",
+                              buckets=KMP_CONVERGENCE_BUCKETS,
+                              region=region_id,
+                              op="rollover").observe(wall)
+            return dict(zip(names, outcomes))
+
+        settled = await asyncio.gather(
+            *(settle_region(region_id, names)
+              for region_id, names in sorted(by_region.items())))
+        merged: Dict[str, Tuple[bool, int]] = {}
+        for group in settled:
+            merged.update(group)
         return {
-            name: {"ok": ok, "key_version": version}
-            for name, (ok, version) in zip(targets, outcomes)
+            name: {"ok": merged[name][0], "key_version": merged[name][1]}
+            for name in targets
         }
 
     def status(self) -> Dict[str, object]:
@@ -233,6 +304,7 @@ class ControllerService:
             "stack": self.config.stack,
             "switches": self.config.m,
             "shards": self.config.shards,
+            "regions": self.config.regions,
             "submitted": sum(s["submitted"] for s in shards),
             "completed": sum(s["completed"] for s in shards),
             "failed": sum(s["failed"] for s in shards),
@@ -241,7 +313,13 @@ class ControllerService:
             "uptime_s": (time.monotonic() - self._started_monotonic
                          if self._started_monotonic is not None else 0.0),
         }
-        return {"fleet": fleet, "shards": shards}
+        regions = [{
+            "region": region_id,
+            "switches": len(self._region_switches[region_id]),
+            "rollovers": self._region_rollovers[region_id],
+            "last_rollover_wall_s": self._region_last_rollover_s[region_id],
+        } for region_id in self.config.region_ids]
+        return {"fleet": fleet, "shards": shards, "regions": regions}
 
     def metrics_text(self) -> str:
         """The service registry in Prometheus text format."""

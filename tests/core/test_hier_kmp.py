@@ -1,0 +1,129 @@
+"""Hierarchical KMP: regional authorities and the two-version invariant."""
+
+import pytest
+
+from repro.core.kmp import HierarchicalKMP, RegionalKeyAuthority
+from repro.experiments.fleet_scale import build_fleet_deployment
+from repro.experiments.table3_scalability import build_regular_network
+from repro.telemetry import Telemetry
+
+
+def small_region(m=9, seed=1, telemetry=None):
+    sim, _net, controller, graph = build_regular_network(m=m, seed=seed)
+    authority = RegionalKeyAuthority("r0", controller, telemetry=telemetry)
+    return sim, controller, graph, authority
+
+
+class TestRegionalKeyAuthority:
+    def test_bootstrap_times_and_counts_the_round(self):
+        sim, controller, graph, authority = small_region()
+        done = []
+        authority.bootstrap(on_done=done.append)
+        sim.run(until=30.0)
+        assert len(done) == 1
+        convergence = done[0]
+        assert convergence.op == "bootstrap"
+        assert convergence.region == "r0"
+        # One record per local init plus one per link's port init.
+        assert convergence.completed == 9 + graph.number_of_edges()
+        assert convergence.failed == 0
+        assert convergence.duration_s > 0
+        assert authority.bootstraps == 1
+
+    def test_rollover_bumps_every_epoch_exactly_once(self):
+        sim, controller, _graph, authority = small_region()
+        authority.bootstrap()
+        sim.run(until=30.0)
+        assert all(authority.rollover_epoch(sw) == 0
+                   for sw in authority.switches())
+        done = []
+        authority.rollover(on_done=done.append)
+        sim.run(until=sim.now + 30.0)
+        assert len(done) == 1 and done[0].failed == 0
+        assert all(authority.rollover_epoch(sw) == 1
+                   for sw in authority.switches())
+        assert authority.rollovers == 1
+
+    def test_concurrent_rollover_is_rejected(self):
+        sim, _controller, _graph, authority = small_region()
+        authority.bootstrap()
+        sim.run(until=30.0)
+        authority.rollover()
+        with pytest.raises(RuntimeError, match="already in flight"):
+            authority.rollover()
+        sim.run(until=sim.now + 30.0)  # let the first one finish
+        authority.rollover()           # now legal again
+        sim.run(until=sim.now + 30.0)
+        assert authority.rollovers == 2
+
+    def test_clean_fleet_has_no_forgery_evidence(self):
+        sim, _controller, _graph, authority = small_region()
+        authority.bootstrap()
+        sim.run(until=30.0)
+        divergence = authority.seq_divergence()
+        assert min(divergence.values()) >= 0
+        assert not any(authority.tamper_indicators().values())
+
+    def test_per_region_telemetry_labels(self):
+        telemetry = Telemetry(enabled=True)
+        sim, _controller, _graph, authority = small_region(
+            telemetry=telemetry)
+        authority.bootstrap()
+        sim.run(until=30.0)
+        authority.rollover()
+        sim.run(until=sim.now + 30.0)
+        metrics = telemetry.metrics
+        assert metrics.value("kmp_region_bootstrap_total", region="r0") == 1
+        assert metrics.value("kmp_region_rollover_total", region="r0") == 1
+        histogram = metrics.get("kmp_region_convergence_seconds",
+                                region="r0", op="rollover")
+        assert histogram is not None and histogram.count == 1
+
+
+class TestHierarchicalKMP:
+    def test_every_region_needs_an_authority(self):
+        world, _extras, hier, controllers = build_fleet_deployment(
+            12, 2, degree=4, seed=1)
+        with pytest.raises(ValueError, match="without a key authority"):
+            HierarchicalKMP(world, {"r0": hier.authorities["r0"]})
+
+    def test_fleet_bootstrap_and_rollover_converge(self):
+        world, _extras, hier, _controllers = build_fleet_deployment(
+            12, 2, degree=4, seed=1)
+        bootstrap = hier.bootstrap_fleet(deadline_s=30.0)
+        assert bootstrap["converged"] and not bootstrap["failed"]
+        assert sorted(bootstrap["regions"]) == ["r0", "r1"]
+        rollover = hier.rollover_fleet(deadline_s=30.0)
+        assert rollover["converged"] and not rollover["failed"]
+        assert rollover["boundary_violations"] == 0
+        for region in world.regions:
+            authority = hier.authorities[region.id]
+            assert all(authority.rollover_epoch(sw) == 1
+                       for sw in region.switches)
+
+    def test_boundary_gaps_and_invariant(self):
+        world, _extras, hier, _controllers = build_fleet_deployment(
+            12, 2, degree=4, seed=1)
+        hier.bootstrap_fleet(deadline_s=30.0)
+        gaps = hier.boundary_epoch_gaps()
+        assert len(gaps) == len(world.boundary_links)
+        assert all(gap["gap"] == 0 for gap in gaps)
+        assert hier.check_two_version_invariant() == []
+        # Fabricate a region that raced two rollovers ahead: the
+        # invariant check must flag every boundary link it touches.
+        link = world.boundary_links[0]
+        hier.authorities[link.region_a]._update_counts[link.switch_a] = 2
+        violations = hier.check_two_version_invariant()
+        assert violations and violations[0]["gap"] == 2
+
+    def test_consistency_report_is_clean_after_rollover(self):
+        world, _extras, hier, _controllers = build_fleet_deployment(
+            12, 2, degree=4, seed=1)
+        hier.bootstrap_fleet(deadline_s=30.0)
+        hier.rollover_fleet(deadline_s=30.0)
+        world.run_until(lambda: world.pending() == 0,
+                        deadline=world.now + 1.0)
+        report = hier.consistency_report()
+        assert report["seq_divergence_min"] >= 0
+        assert report["boundary_violations"] == 0
+        assert not any(report["tamper_indicators"].values())

@@ -1,0 +1,87 @@
+"""Region -> worker sharding: ring assignment and the process pool."""
+
+import pytest
+
+from repro.engine.runner import assign_regions, run_region_tasks
+
+
+def describe(region_id):
+    """Module-level task (picklable for the worker pool)."""
+    return {"region": region_id, "tag": region_id.upper()}
+
+
+def explode(region_id):
+    raise RuntimeError(f"boom in {region_id}")
+
+
+class TestAssignRegions:
+    def test_no_worker_idles_at_equal_counts(self):
+        assignment = assign_regions([f"r{i}" for i in range(4)], workers=4)
+        assert sorted(len(g) for g in assignment.values()) == [1, 1, 1, 1]
+
+    def test_bounded_load_at_two_to_one(self):
+        assignment = assign_regions([f"r{i}" for i in range(8)], workers=4)
+        assert sorted(len(g) for g in assignment.values()) == [2, 2, 2, 2]
+
+    def test_partition_covers_every_region_once(self):
+        regions = [f"r{i}" for i in range(7)]
+        assignment = assign_regions(regions, workers=3)
+        owned = sorted(r for group in assignment.values() for r in group)
+        assert owned == sorted(regions)
+
+    def test_deterministic(self):
+        regions = [f"r{i}" for i in range(5)]
+        assert assign_regions(regions, 3) == assign_regions(regions, 3)
+        # Input order must not matter.
+        assert assign_regions(list(reversed(regions)), 3) \
+            == assign_regions(regions, 3)
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            assign_regions(["r0"], workers=0)
+
+
+class TestRunRegionTasks:
+    def test_results_keyed_in_sorted_order(self):
+        out = run_region_tasks(describe, ["r2", "r0", "r1"], workers=1)
+        assert list(out) == ["r0", "r1", "r2"]
+        assert out["r1"] == {"region": "r1", "tag": "R1"}
+
+    def test_parallel_results_identical_to_inline(self):
+        regions = [f"r{i}" for i in range(6)]
+        inline = run_region_tasks(describe, regions, workers=1)
+        pooled = run_region_tasks(describe, regions, workers=3)
+        assert pooled == inline
+
+    def test_more_workers_than_regions(self):
+        regions = ["r0", "r1"]
+        assert run_region_tasks(describe, regions, workers=8) \
+            == run_region_tasks(describe, regions, workers=1)
+
+    def test_duplicate_region_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_region_tasks(describe, ["r0", "r0"], workers=1)
+
+    def test_task_errors_propagate(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_region_tasks(explode, ["r0"], workers=1)
+        with pytest.raises(RuntimeError, match="boom"):
+            run_region_tasks(explode, ["r0", "r1", "r2"], workers=2)
+
+    def test_daemonic_process_degrades_to_inline(self, monkeypatch):
+        """Inside an engine pool worker (daemonic) forking again is
+        illegal; the call must fall back to inline execution."""
+        import repro.engine.runner as runner_module
+
+        class FakeProcess:
+            daemon = True
+
+        monkeypatch.setattr(runner_module.multiprocessing,
+                            "current_process", lambda: FakeProcess())
+        forbidden_calls = []
+        monkeypatch.setattr(
+            runner_module.multiprocessing, "get_context",
+            lambda *a, **k: forbidden_calls.append(a) or None)
+        out = run_region_tasks(describe, ["r0", "r1", "r2"], workers=4)
+        assert list(out) == ["r0", "r1", "r2"]
+        assert forbidden_calls == []
