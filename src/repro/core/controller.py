@@ -143,6 +143,15 @@ class P4AuthController:
         self.encrypt_regops = encrypt_regops
         self.on_tamper: List[Callable[[TamperRecord], None]] = []
         self.on_alert: List[Callable[[AlertRecord], None]] = []
+        #: Optional observer ``seq_listener(switch, seq)`` fired inside
+        #: :meth:`next_seq` *before* the number is handed to the caller
+        #: — the durability layer journals sequence-horizon reservations
+        #: here so a crash can never reuse a sequence number (the
+        #: skip-ahead rule; see repro.store).
+        self.seq_listener: Optional[Callable[[str, int], None]] = None
+        #: Set by :meth:`halt` — a crashed process composes and sends
+        #: nothing more, even if in-flight Python frames keep running.
+        self.halted = False
         self._seq: Dict[str, int] = {}
         self._pending: Dict[Tuple[str, int], _Pending] = {}
         # Per-switch departure horizon for composed requests.  Compose
@@ -209,8 +218,36 @@ class P4AuthController:
 
     def next_seq(self, switch: str) -> int:
         seq = self._seq[switch]
+        if self.seq_listener is not None:
+            self.seq_listener(switch, seq)
         self._seq[switch] = (seq + 1) & 0xFFFFFFFF
         return seq
+
+    def restore_seq(self, switch: str, next_seq: int) -> None:
+        """Warm-restart entry point: resume issuing at ``next_seq``.
+
+        Recovery sets this to the last *journaled horizon* — at or past
+        any number the dead controller could have used — so the data
+        plane's monotonic ``expected_seq`` defense never sees a reuse.
+        """
+        self._seq[switch] = next_seq & 0xFFFFFFFF
+
+    def halt(self) -> None:
+        """Kill this controller instance (crash modeling).
+
+        Cancels every pending-request timeout (a dead process has no
+        timers), forgets in-flight state, and detaches from the network
+        so late responses drop instead of reaching a ghost.  The object
+        must not be used afterwards — recovery builds a fresh one.
+        """
+        self.halted = True
+        for pending in self._pending.values():
+            if pending.timeout_handle is not None:
+                pending.timeout_handle.cancel()
+        self._pending.clear()
+        self._session_cache.clear()
+        if self.network.controller is self:
+            self.network.controller = None
 
     def _session_keys(self, switch: str, key_ver: int):
         """Session-key family for a switch's local key at ``key_ver``,
@@ -342,6 +379,12 @@ class P4AuthController:
                           callback: Optional[ResponseCallback],
                           compose_cost: float, index: int = 0,
                           value: int = 0, attempt: int = 1) -> None:
+        if self.halted:
+            # A dead process's frame may still be mid-burst when the
+            # kill lands: the request was composed but never reached
+            # the NIC.  Dropping it here (no pending entry, no
+            # departure) is the crash semantics recovery is built for.
+            return
         pending = _Pending(
             kind, switch, reg_name, self.sim.now, callback,
             index=index, value=value, attempt=attempt,
@@ -437,7 +480,16 @@ class P4AuthController:
             self.stats.unsolicited_responses += 1
 
     def _handle_reg_response(self, switch: str, packet: Packet, hdr) -> None:
-        key = self.keys.local_key(switch, hdr["keyVer"])
+        try:
+            key = self.keys.local_key(switch, hdr["keyVer"])
+        except KeyError:
+            # A response for a switch this controller holds no key for —
+            # possible while a warm restart is still re-establishing
+            # partially-journaled key material.  Unverifiable, so it is
+            # not acted on (and not a tamper claim either: there is no
+            # key to judge the digest against).
+            self.stats.unsolicited_responses += 1
+            return
         if not self.digest.verify(key, packet):
             self._record_tamper(switch, hdr["seqNum"],
                                "register response digest mismatch")

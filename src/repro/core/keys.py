@@ -15,7 +15,7 @@ DH, cannot derive the resulting K_port — a property the tests assert.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.constants import KEY_VERSIONS
 from repro.dataplane.registers import RegisterFile
@@ -172,11 +172,18 @@ class ControllerKeyStore:
         self._seed: Dict[str, int] = {}
         self._auth: Dict[str, int] = {}
         self._local: Dict[str, VersionedKey] = {}
+        #: Optional observer ``listener(switch, kind, key, version)``
+        #: fired synchronously on every install, *before* the caller can
+        #: act on the new key — the durability layer's write-ahead hook
+        #: (kind is "seed" | "auth" | "local").
+        self.listener: Optional[Callable[[str, str, int, int], None]] = None
 
     # -- seed (pre-shared at switch boot, baked into the P4 binary) ---------
 
     def set_seed(self, switch: str, k_seed: int) -> None:
         self._seed[switch] = k_seed
+        if self.listener is not None:
+            self.listener(switch, "seed", k_seed, 0)
 
     def seed(self, switch: str) -> int:
         if switch not in self._seed:
@@ -187,6 +194,8 @@ class ControllerKeyStore:
 
     def set_auth_key(self, switch: str, k_auth: int) -> None:
         self._auth[switch] = k_auth
+        if self.listener is not None:
+            self.listener(switch, "auth", k_auth, 0)
 
     def auth_key(self, switch: str) -> int:
         if switch not in self._auth:
@@ -200,12 +209,18 @@ class ControllerKeyStore:
 
     def install_local_key(self, switch: str, k_local: int) -> int:
         entry = self._local.setdefault(switch, VersionedKey())
-        return entry.install(k_local)
+        version = entry.install(k_local)
+        if self.listener is not None:
+            self.listener(switch, "local", k_local, version)
+        return version
 
     def install_local_key_at(self, switch: str, k_local: int,
                              version: int) -> int:
         entry = self._local.setdefault(switch, VersionedKey())
-        return entry.install_at(k_local, version)
+        version = entry.install_at(k_local, version)
+        if self.listener is not None:
+            self.listener(switch, "local", k_local, version)
+        return version
 
     def local_key(self, switch: str, version: Optional[int] = None) -> int:
         if switch not in self._local:
@@ -222,3 +237,18 @@ class ControllerKeyStore:
 
     def has_local_key(self, switch: str) -> bool:
         return switch in self._local
+
+    # -- durability surfaces (repro.store) ---------------------------------
+
+    def known_switches(self) -> list:
+        """Every switch with any key material (sorted)."""
+        return sorted(set(self._seed) | set(self._auth) | set(self._local))
+
+    def auth_key_or_zero(self, switch: str) -> int:
+        return self._auth.get(switch, 0)
+
+    def local_key_slots(self, switch: str):
+        """``(slots, active_version)`` of a switch's local key — the raw
+        two-version state the snapshot serializes."""
+        entry = self._local[switch]
+        return list(entry.slots), entry.active_version

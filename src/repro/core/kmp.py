@@ -346,7 +346,8 @@ class KeyManagementProtocol:
         self._rollover_interval = None
 
     def _rollover_tick(self) -> None:
-        if self._rollover_interval is None:
+        if self._rollover_interval is None or getattr(self.c, "halted",
+                                                      False):
             return
         for switch in sorted(self.c.dataplanes):
             if self.c.keys.has_local_key(switch):
@@ -538,7 +539,7 @@ class KeyManagementProtocol:
                             self._check_exchange, exchange, restart)
 
     def _check_exchange(self, exchange: _Exchange, restart) -> None:
-        if exchange.completed:
+        if exchange.completed or getattr(self.c, "halted", False):
             return
         self._purge(exchange)
         telemetry = self.c.telemetry
@@ -616,6 +617,8 @@ class KeyManagementProtocol:
 
     def _send(self, exchange: _Exchange, switch: str, packet: Packet,
               delay: Optional[float] = None) -> None:
+        if getattr(self.c, "halted", False):
+            return  # a dead controller's timers send nothing
         exchange.messages += 1
         exchange.bytes += packet.size_bytes
         self.c.sim.schedule(
@@ -688,6 +691,9 @@ class RegionalKeyAuthority:
         self.convergences: List[RegionConvergence] = []
         self.bootstraps = 0
         self.rollovers = 0
+        #: Observers ``hook(switch, epoch)`` of completed local-key
+        #: updates (the durability layer journals epoch advances here).
+        self.on_epoch: List[Callable[[str, int], None]] = []
         self._update_counts: Dict[str, int] = {}
         self._rollover_active = False
 
@@ -696,6 +702,13 @@ class RegionalKeyAuthority:
     def rollover_epoch(self, switch: str) -> int:
         """Completed local-key updates for ``switch`` (monotonic)."""
         return self._update_counts.get(switch, 0)
+
+    def restore_epochs(self, epochs: Dict[str, int]) -> None:
+        """Warm-restart entry point: resume epoch counters from a
+        recovered snapshot (only ever moves counters forward)."""
+        for switch, epoch in epochs.items():
+            if epoch > self._update_counts.get(switch, 0):
+                self._update_counts[switch] = epoch
 
     def switches(self) -> List[str]:
         return sorted(self.c.dataplanes)
@@ -762,8 +775,10 @@ class RegionalKeyAuthority:
                 finish()
 
         def local_done(record: KmpOpRecord) -> None:
-            self._update_counts[record.switch] = \
-                self._update_counts.get(record.switch, 0) + 1
+            epoch = self._update_counts.get(record.switch, 0) + 1
+            self._update_counts[record.switch] = epoch
+            for hook in list(self.on_epoch):
+                hook(record.switch, epoch)
             resolve(("local", record.switch))
 
         def on_abandon(failure: KmpFailure) -> None:

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from typing import Any, Optional
 
 from repro.engine.canon import canonical_json
+from repro.store.atomic import atomic_write_text, sweep_orphan_tmp
 
 DEFAULT_CACHE_DIR = ".bench_cache"
 
@@ -59,18 +59,7 @@ class ResultCache:
     def put(self, key: str, result: Any) -> None:
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(canonical_json(result))
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, canonical_json(result))
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed.
@@ -88,11 +77,7 @@ class ResultCache:
                 if filename.endswith(".json"):
                     os.unlink(os.path.join(dirpath, filename))
                     removed += 1
-                elif filename.endswith(".tmp"):
-                    try:
-                        os.unlink(os.path.join(dirpath, filename))
-                    except OSError:
-                        pass
+        sweep_orphan_tmp(self.root)
         return removed
 
 

@@ -11,6 +11,9 @@ them:
   plan against a live :class:`~repro.net.network.Network` (delivery
   shaper + scheduled events + channel taps) and tallies every injection
   through telemetry;
+- :mod:`repro.faults.controller` — :class:`ControllerKillSwitch`, the
+  controller-process SIGKILL action (crash at a chosen journal record
+  or virtual time) driving the ``controller_crash_recovery`` experiment;
 - :mod:`repro.faults.scenarios` — :class:`ChaosScenario` runners that
   replay Fig 17/20-style workloads under a plan and assert the paper's
   invariants still hold (``python -m repro chaos``).
@@ -28,6 +31,7 @@ from repro.faults.plan import (
     LINK_FAULT_KINDS,
     NodeFault,
 )
+from repro.faults.controller import ControllerKillSwitch
 from repro.faults.injector import FaultInjector, InjectorStats
 from repro.faults.scenarios import (
     ChaosReport,
@@ -43,6 +47,7 @@ __all__ = [
     "ChaosReport",
     "ChaosScenario",
     "ClockSkewFault",
+    "ControllerKillSwitch",
     "FaultInjector",
     "FaultPlan",
     "InjectorStats",

@@ -108,6 +108,15 @@ class BatchController:
         self.sim = stack.sim
         self.max_in_flight = max_in_flight
         self.stats = BatchStats()
+        #: Optional observer of per-switch window transitions:
+        #: ``window_listener("open", switch, (reg_name, index))`` fires
+        #: on the idle→busy edge *before* the burst reaches the stack
+        #: (write-ahead), with the head op identifying the window;
+        #: ``window_listener("close", switch, None)`` fires on busy→idle.
+        #: The durability layer journals these as batch_open/batch_close
+        #: so recovery knows which switches had requests in flight.
+        self.window_listener: Optional[
+            Callable[[str, str, Optional[Tuple[str, int]]], None]] = None
         self._queues: Dict[str, Deque[_QueuedRequest]] = {}
         self._in_flight: Dict[str, int] = {}
         self._in_flight_total = 0
@@ -255,6 +264,10 @@ class BatchController:
         departure times are those of back-to-back per-request issue.
         """
         now = self.sim.now
+        if self.window_listener is not None \
+                and self._in_flight.get(switch, 0) == 0:
+            self.window_listener("open", switch,
+                                 (burst[0].reg_name, burst[0].index))
         for request in burst:
             self._in_flight[switch] = self._in_flight.get(switch, 0) + 1
             self._in_flight_total += 1
@@ -289,6 +302,10 @@ class BatchController:
         switch = request.switch
         self._in_flight[switch] -= 1
         self._in_flight_total -= 1
+        if self.window_listener is not None \
+                and self._in_flight[switch] == 0 \
+                and not self._queues.get(switch):
+            self.window_listener("close", switch, None)
         self.stats.completed += 1
         if not ok:
             self.stats.failed += 1

@@ -44,6 +44,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--queue-depth", type=int, default=1024,
                         help="per-shard intake queue bound (503 beyond)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--state-dir", default=None,
+                        help="durable-state root (P4Auth only): per-shard "
+                             "write-ahead journals + snapshots; restarting "
+                             "with the same directory warm-restarts the "
+                             "fleet's keys and sequence state")
+    parser.add_argument("--fsync", default="batch",
+                        choices=["always", "batch", "never"],
+                        help="journal fsync policy (batch: group-commit "
+                             "on durable records)")
+    parser.add_argument("--snapshot-every", type=int, default=256,
+                        metavar="RECORDS",
+                        help="compact the journal into a snapshot every "
+                             "N records (0 disables auto-snapshots)")
     parser.add_argument("--secret", default=None,
                         help="deployment auth secret (default: the dev "
                              "secret; never use the default in earnest)")
@@ -63,7 +76,9 @@ def config_from_args(args) -> FleetConfig:
                   regions=args.regions,
                   max_in_flight=args.max_in_flight,
                   issue_window=args.issue_window,
-                  queue_depth=args.queue_depth, seed=args.seed)
+                  queue_depth=args.queue_depth, seed=args.seed,
+                  state_dir=args.state_dir, fsync=args.fsync,
+                  snapshot_every=args.snapshot_every or None)
     if args.secret is not None:
         kwargs["auth_secret"] = args.secret
     return FleetConfig(**kwargs)
@@ -80,6 +95,11 @@ async def _serve(args) -> int:
           f"shards={config.shards} regions={config.regions} "
           f"issue_window={config.issue_window} "
           f"queue_depth={config.queue_depth}")
+    if config.state_dir is not None:
+        recovered = service.status()["fleet"]["recovered_shards"]
+        print(f"# durable state: {config.state_dir} "
+              f"(fsync={config.fsync}, "
+              f"recovered {recovered}/{config.shards} shards)")
     for shard_id in config.shard_ids:
         owned = len(service.assignment[shard_id])
         print(f"#   {shard_id}: {owned} switches")

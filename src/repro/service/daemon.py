@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.kmp import KMP_CONVERGENCE_BUCKETS
+from repro.store.journal import FSYNC_POLICIES
 from repro.runtime.comparison import STACKS
 from repro.service.auth import RequestAuthenticator, TOKEN_HEADER
 from repro.service.shard import ShardOp, ShardOverload, ShardWorker
@@ -80,6 +82,13 @@ class FleetConfig:
     replicas: int = DEFAULT_REPLICAS
     load_factor: float = DEFAULT_LOAD_FACTOR
     auth_secret: str = DEFAULT_SECRET
+    #: Root of the durable-state tree; each shard journals under
+    #: ``<state_dir>/<shard_id>/``.  None: shards are in-memory only.
+    state_dir: Optional[str] = None
+    #: Journal fsync policy (see :data:`repro.store.FSYNC_POLICIES`).
+    fsync: str = "batch"
+    #: Auto-snapshot cadence in journal records (None: manual only).
+    snapshot_every: Optional[int] = 256
 
     def __post_init__(self):
         if self.stack not in STACKS:
@@ -90,6 +99,17 @@ class FleetConfig:
             raise ValueError("need 1 <= shards <= m")
         if not 1 <= self.regions <= self.m:
             raise ValueError("need 1 <= regions <= m")
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync must be one of {FSYNC_POLICIES}")
+        if self.state_dir is not None and self.stack != "P4Auth":
+            raise ValueError(
+                "state_dir requires the P4Auth stack (the journal "
+                "records P4Auth key/sequence state)")
+
+    def shard_state_dir(self, shard_id: str) -> Optional[str]:
+        if self.state_dir is None:
+            return None
+        return os.path.join(self.state_dir, shard_id)
 
     @property
     def switch_names(self) -> List[str]:
@@ -152,6 +172,9 @@ class ControllerService:
                 issue_window=config.issue_window,
                 queue_depth=config.queue_depth,
                 step_s=config.step_s,
+                state_dir=config.shard_state_dir(shard_id),
+                fsync=config.fsync,
+                snapshot_every=config.snapshot_every,
                 metrics=self.telemetry.metrics,
             )
             for index, shard_id in enumerate(config.shard_ids)
@@ -309,6 +332,9 @@ class ControllerService:
             "completed": sum(s["completed"] for s in shards),
             "failed": sum(s["failed"] for s in shards),
             "rejected": sum(s["rejected"] for s in shards),
+            "state_dir": self.config.state_dir,
+            "recovered_shards": sum(
+                1 for worker in self.workers.values() if worker.recovered),
             "draining": self._stopping,
             "uptime_s": (time.monotonic() - self._started_monotonic
                          if self._started_monotonic is not None else 0.0),

@@ -48,6 +48,11 @@ from repro.runtime.batch import BatchController
 from repro.runtime.comparison import STACKS
 from repro.runtime.p4runtime import P4RuntimeStack
 from repro.runtime.plain import PlainController, PlainRegOpDataplane
+from repro.store.recovery import (
+    restore_dataplane,
+    store_exists,
+    warm_restart,
+)
 
 #: Buckets for per-request service latency (virtual seconds): window
 #: queueing stacks a few RTTs on top of the Fig 18 ~1 ms round trip.
@@ -116,7 +121,8 @@ class ShardStats:
 
 def build_shard_stack(stack_name: str, switches: Sequence[str], seed: int,
                       registers: Sequence[Tuple[str, int, int]],
-                      issue_window: int, telemetry=None):
+                      issue_window: int, telemetry=None,
+                      bootstrap: bool = True):
     """A fresh deployment of ``stack_name`` over the shard's switches.
 
     Returns ``(sim, net, stack, dataplanes)``.  Switches get the fleet's
@@ -124,6 +130,11 @@ def build_shard_stack(stack_name: str, switches: Sequence[str], seed: int,
     bootstrap (in parallel, inside the shard's virtual clock) before the
     shard accepts traffic.  C-DP traffic flows controller<->switch over
     per-switch control channels, so no inter-switch links are needed.
+
+    ``bootstrap=False`` skips the P4Auth key negotiation: the caller is
+    warm-restarting from a state directory and will reinstall journaled
+    key material into both the controller and the (hardware-stand-in)
+    dataplanes instead of negotiating fresh keys.
     """
     if stack_name not in STACKS:
         raise ValueError(f"stack must be one of {STACKS}")
@@ -167,12 +178,13 @@ def build_shard_stack(stack_name: str, switches: Sequence[str], seed: int,
                 dataplane.map_register(reg_name)
             stack.provision(dataplane)
             dataplanes[name] = dataplane
-        for name in switches:
-            stack.kmp.local_key_init(name, on_done=done.append)
-        sim.run(until=sim.now + BOOTSTRAP_DEADLINE_S)
-        if len(done) != len(switches):
-            raise RuntimeError(
-                f"key bootstrap incomplete: {len(done)}/{len(switches)}")
+        if bootstrap:
+            for name in switches:
+                stack.kmp.local_key_init(name, on_done=done.append)
+            sim.run(until=sim.now + BOOTSTRAP_DEADLINE_S)
+            if len(done) != len(switches):
+                raise RuntimeError(
+                    f"key bootstrap incomplete: {len(done)}/{len(switches)}")
     return sim, net, stack, dataplanes
 
 
@@ -185,6 +197,8 @@ class ShardWorker:
                  (("target", 64, 16),),
                  max_in_flight: int = 8, issue_window: int = 32,
                  queue_depth: int = 1024, step_s: float = 0.002,
+                 state_dir: Optional[str] = None, fsync: str = "batch",
+                 snapshot_every: Optional[int] = 256,
                  metrics=None):
         if issue_window < 1:
             raise ValueError("issue_window must be >= 1")
@@ -199,6 +213,13 @@ class ShardWorker:
         self.issue_window = issue_window
         self.queue_depth = queue_depth
         self.step_s = step_s
+        #: Durable-state directory (P4Auth only; None: in-memory shard).
+        self.state_dir = state_dir
+        self.fsync = fsync
+        self.snapshot_every = snapshot_every
+        self.recorder = None
+        self.recovery_report = None
+        self.recovered = False
         self.stats = ShardStats()
         self.sim = None
         self.net = None
@@ -213,7 +234,11 @@ class ShardWorker:
         self._wake: Optional[asyncio.Event] = None
         # Per-shard service metrics live in the *service* registry (the
         # shard sims deliberately stay un-instrumented so N virtual
-        # clocks never fight over one tracer).
+        # clocks never fight over one tracer).  The journal/snapshot
+        # stores share that registry: their metrics are wall-clock
+        # host-side observations, not simulated time.
+        self._metrics = metrics if metrics is not None and metrics.enabled \
+            else None
         if metrics is not None and metrics.enabled:
             self._gauge_in_flight = metrics.gauge(
                 "service_shard_in_flight", shard=shard_id)
@@ -245,21 +270,70 @@ class ShardWorker:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Build the deployment (bootstrap included) and start serving."""
+        """Build the deployment (bootstrap included) and start serving.
+
+        With a ``state_dir`` (P4Auth only), the shard is durable: a
+        fresh directory journals the bootstrap as it happens; one that
+        already holds a journal triggers a warm restart — key material
+        and sequence horizons are replayed into the new controller, the
+        simulated switches (stand-ins for hardware whose registers
+        survived the crash) are re-seeded from the same journaled state,
+        and any batch window open at crash time is reconciled with an
+        authenticated register read before traffic resumes.
+        """
         if self._task is not None:
             raise RuntimeError(f"shard {self.shard_id} already started")
+        durable = self.state_dir is not None and self.stack_name == "P4Auth"
+        warm = durable and store_exists(self.state_dir)
         self.sim, self.net, self.stack, self.dataplanes = build_shard_stack(
             self.stack_name, self.switches, self.seed, self.registers,
-            self.issue_window)
+            self.issue_window, bootstrap=not warm)
         self.batch = BatchController(self.stack,
                                      max_in_flight=self.max_in_flight)
         if self.stack_name == "P4Auth":
             self.stack.kmp.on_abandoned.append(self._on_kmp_abandoned)
+        if durable:
+            self.recorder, self.recovery_report = warm_restart(
+                self.state_dir, self.stack, batch=self.batch,
+                shard_id=self.shard_id, fsync=self.fsync,
+                snapshot_every=self.snapshot_every,
+                metrics=self._metrics, shard=self.shard_id)
+            self.recovered = warm
+            if warm:
+                self._settle_recovery()
         if self._gauge_in_flight is not None:
             self._gauge_switches.set(len(self.switches))
         self._wake = asyncio.Event()
         self._task = asyncio.get_running_loop().create_task(
             self._run(), name=f"shard-{self.shard_id}")
+
+    def _settle_recovery(self) -> None:
+        """Finish a warm restart before the shard accepts traffic.
+
+        The journaled state was already poured into the controller; this
+        re-seeds the hardware stand-ins, lets the reconciliation reads
+        resolve in virtual time, and falls back to a fresh KMP bootstrap
+        for any switch whose keys never became durable (a crash between
+        provisioning and the journal's first fsync).
+        """
+        state = self.recovery_report.state
+        for dataplane in self.dataplanes.values():
+            restore_dataplane(dataplane, state)
+        # Reconciliation reads were issued by warm_restart but deliver
+        # only as the virtual clock advances (after the registers above
+        # were restored — no packet outruns the restore).
+        self.sim.run(until=self.sim.now + BOOTSTRAP_DEADLINE_S)
+        missing = [name for name in self.switches
+                   if not self.stack.keys.has_local_key(name)]
+        if missing:
+            done: List[object] = []
+            for name in missing:
+                self.stack.kmp.local_key_init(name, on_done=done.append)
+            self.sim.run(until=self.sim.now + BOOTSTRAP_DEADLINE_S)
+            if len(done) != len(missing):
+                raise RuntimeError(
+                    f"post-recovery bootstrap incomplete: "
+                    f"{len(done)}/{len(missing)}")
 
     async def stop(self) -> None:
         """Graceful drain: stop intake, finish queued work, exit."""
@@ -269,6 +343,12 @@ class ShardWorker:
         self._wake.set()
         await self._task
         self._task = None
+        if self.recorder is not None:
+            # Drained: snapshot the final state so the next start
+            # replays (almost) nothing, then seal the journal.
+            self.recorder.snapshot()
+            self.recorder.detach()
+            self.recorder.journal.close()
 
     @property
     def draining(self) -> bool:
@@ -416,7 +496,7 @@ class ShardWorker:
     # ------------------------------------------------------------------
 
     def status(self) -> Dict[str, object]:
-        return {
+        status = {
             "shard": self.shard_id,
             "stack": self.stack_name,
             "switches": len(self.switches),
@@ -432,6 +512,21 @@ class ShardWorker:
             "busy_virtual_s": self.stats.busy_s,
             "draining": self._draining,
         }
+        if self.recorder is not None:
+            report = self.recovery_report
+            status["store"] = {
+                "state_dir": self.state_dir,
+                "fsync": self.fsync,
+                "journal_records": self.recorder.journal.next_lsn,
+                "journal_lag": self.recorder.journal.lag,
+                "torn_records": self.recorder.journal.torn_records,
+                "recovered": self.recovered,
+                "recovery_s": report.duration_s,
+                "replayed_records": report.replayed_records,
+                "snapshot_used": report.snapshot_used,
+                "windows_reconciled": report.windows_reconciled,
+            }
+        return status
 
 
 __all__ = [

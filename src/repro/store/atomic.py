@@ -1,0 +1,85 @@
+"""The atomic-write / orphan-sweep idiom, shared by every disk writer.
+
+The engine's ResultCache pioneered the pattern in this repo: write to a
+per-process ``*.tmp`` created with ``mkstemp`` in the destination
+directory, then ``os.replace`` onto the final name — readers see either
+the old file or the complete new one, never a torn write, and
+concurrent writers (worker shards) cannot clobber each other's
+temporaries.  A SIGKILL between ``mkstemp`` and ``replace`` leaves an
+orphaned temp file behind; :func:`sweep_orphan_tmp` reclaims those at
+open/clear time.
+
+Extracted here so the journal/snapshot store and the result cache share
+one audited implementation instead of three divergent copies.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+#: Suffix every atomic writer's temporaries carry (and the sweep hunts).
+TMP_SUFFIX = ".tmp"
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = False) -> None:
+    """Atomically create/replace ``path`` with ``data``.
+
+    The temp file lives in ``path``'s directory so the final
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX).  With
+    ``fsync=True`` the payload is flushed to stable storage before the
+    rename, so a power failure cannot surface an empty committed file.
+    On any failure the temp file is removed and the original ``path``
+    (if it existed) is untouched.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=TMP_SUFFIX)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str, fsync: bool = False) -> None:
+    """Text-mode convenience over :func:`atomic_write_bytes` (UTF-8)."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def sweep_orphan_tmp(root: str) -> int:
+    """Delete orphaned ``*.tmp`` files under ``root``; returns the count.
+
+    Safe to call on a missing directory (returns 0) and concurrently
+    with live writers: a temp file that disappears between walk and
+    unlink (its writer just renamed or cleaned it) is skipped, not an
+    error.
+    """
+    removed = 0
+    if not os.path.isdir(root):
+        return removed
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if not filename.endswith(TMP_SUFFIX):
+                continue
+            try:
+                os.unlink(os.path.join(dirpath, filename))
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+__all__ = [
+    "TMP_SUFFIX",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "sweep_orphan_tmp",
+]

@@ -1,0 +1,214 @@
+"""Live journaling of a controller's durable state changes.
+
+:class:`StateRecorder` subscribes to the hook points the core exposes —
+:attr:`ControllerKeyStore.listener`,
+:attr:`P4AuthController.seq_listener`,
+:attr:`BatchController.window_listener`,
+:attr:`RegionalKeyAuthority.on_epoch` — and appends a typed journal
+record for each change **before the controller acts on it** (all three
+hooks fire synchronously ahead of the action they cover; the journal
+append, and under strict fsync policies the fsync, happen inline).
+
+Sequence numbers get the skip-ahead treatment: rather than journaling
+every ``next_seq`` (one fsync per request would erase the batching
+win), the recorder journals a *horizon* reservation ``seq + stride``
+whenever the controller is about to use a number at or past the current
+horizon.  Recovery resumes issuing **at** the horizon — skipping up to
+``stride - 1`` never-used numbers, which the data plane's monotonic
+``expected_seq`` accepts by design — so no sequence number can ever be
+reused, which is exactly the property the replay defense needs.
+
+The recorder also folds every record it writes into an in-memory
+:class:`~repro.store.state.StoreState` mirror through the same pure
+:func:`~repro.store.state.apply_record` recovery uses — snapshots
+serialize this mirror, making "snapshot + tail ≡ full replay" hold by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.store.journal import Journal
+from repro.store.snapshot import SnapshotStore
+from repro.store.state import StoreState, apply_record
+
+#: Sequence numbers reserved (journaled) ahead of use per switch.
+DEFAULT_SEQ_STRIDE = 64
+
+
+class StateRecorder:
+    """Journals a live controller's durable state, write-ahead."""
+
+    def __init__(self, journal: Journal,
+                 snapshots: Optional[SnapshotStore] = None, *,
+                 seq_stride: int = DEFAULT_SEQ_STRIDE,
+                 snapshot_every: Optional[int] = None,
+                 state: Optional[StoreState] = None):
+        if seq_stride < 1:
+            raise ValueError("seq_stride must be >= 1")
+        self.journal = journal
+        self.snapshots = snapshots
+        self.seq_stride = seq_stride
+        #: Auto-snapshot after this many appended records (None: manual).
+        self.snapshot_every = snapshot_every
+        #: The in-memory mirror (recovery seeds it with the replayed
+        #: state so the first snapshot after a warm restart is complete).
+        self.state = state if state is not None else StoreState()
+        self._reserved: Dict[str, int] = dict(self.state.seq_horizons)
+        self._since_snapshot = 0
+        self._controller = None
+        self._batch = None
+        self._authority = None
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def attach(self, controller, batch=None, authority=None,
+               shard_id: Optional[str] = None) -> None:
+        """Hook a live controller (and optionally its batch facade and
+        regional key authority).
+
+        Any key material and sequence state the controller *already*
+        holds is journaled first, so attaching to a bootstrapped
+        controller — or one rebuilt by recovery — leaves the journal
+        self-contained.  With ``shard_id`` set, the controller's switch
+        ownership is journaled as a ``shard_map`` record.
+        """
+        if self._controller is not None:
+            raise RuntimeError("recorder is already attached")
+        self._controller = controller
+        self._journal_existing(controller, shard_id)
+        controller.keys.listener = self._on_key
+        controller.seq_listener = self._on_seq
+        if batch is not None:
+            self._batch = batch
+            batch.window_listener = self._on_window
+        if authority is not None:
+            self._authority = authority
+            authority.on_epoch.append(self._on_epoch)
+
+    def detach(self) -> None:
+        """Unhook all listeners (the recorder object stays queryable)."""
+        controller = self._controller
+        if controller is not None:
+            if controller.keys.listener is self._on_key:
+                controller.keys.listener = None
+            if controller.seq_listener is self._on_seq:
+                controller.seq_listener = None
+        if self._batch is not None \
+                and self._batch.window_listener is self._on_window:
+            self._batch.window_listener = None
+        if self._authority is not None \
+                and self._on_epoch in self._authority.on_epoch:
+            self._authority.on_epoch.remove(self._on_epoch)
+        self._controller = None
+        self._batch = None
+        self._authority = None
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Optional[str]:
+        """Write a snapshot of the mirror and compact covered segments."""
+        if self.snapshots is None:
+            return None
+        path = self.snapshots.save(self.state)
+        self.journal.compact(self.state.applied_lsn + 1)
+        self._since_snapshot = 0
+        return path
+
+    # ------------------------------------------------------------------
+    # hook handlers
+    # ------------------------------------------------------------------
+
+    def _on_key(self, switch: str, kind: str, key: int,
+                version: int) -> None:
+        entry = self.state.keys.get(switch)
+        if kind == "local" and entry is not None and entry.has_local:
+            self._append("key_rollover",
+                         {"switch": switch, "key": key,
+                          "version": version}, durable=True)
+        else:
+            self._append("key_install",
+                         {"switch": switch, "kind": kind, "key": key,
+                          "version": version}, durable=True)
+
+    def _on_seq(self, switch: str, seq: int) -> None:
+        if seq < self._reserved.get(switch, 0):
+            return
+        horizon = seq + self.seq_stride
+        self._append("seq_advance", {"switch": switch, "horizon": horizon},
+                     durable=True)
+        self._reserved[switch] = horizon
+
+    def _on_window(self, edge: str, switch: str,
+                   head: Optional[Tuple[str, int]]) -> None:
+        if edge == "open":
+            self._append("batch_open",
+                         {"switch": switch, "reg": head[0],
+                          "index": head[1]})
+        else:
+            self._append("batch_close", {"switch": switch})
+
+    def _on_epoch(self, switch: str, epoch: int) -> None:
+        self._append("epoch_advance", {"switch": switch, "epoch": epoch})
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _append(self, rec_type: str, data: Dict[str, object],
+                durable: bool = False) -> None:
+        if not self.journal.is_open:
+            # The process this recorder models is dead (a kill switch
+            # crashed the journal mid-call): whatever the interrupted
+            # caller does next is lost, exactly as on a real SIGKILL.
+            return
+        record = self.journal.append(rec_type, data, durable=durable)
+        apply_record(self.state, record)
+        self._since_snapshot += 1
+        if self.snapshot_every is not None \
+                and self._since_snapshot >= self.snapshot_every:
+            self.snapshot()
+
+    def _journal_existing(self, controller,
+                          shard_id: Optional[str]) -> None:
+        """Bring the journal up to date with pre-attach controller state."""
+        keys = controller.keys
+        for switch in keys.known_switches():
+            try:
+                seed = keys.seed(switch)
+            except KeyError:
+                seed = 0
+            if seed:
+                self._on_key(switch, "seed", seed, 0)
+            auth = keys.auth_key_or_zero(switch)
+            if auth:
+                self._on_key(switch, "auth", auth, 0)
+            if keys.has_local_key(switch):
+                slots, active = keys.local_key_slots(switch)
+                # Inactive slots first so replay ends on the active one.
+                for version, key in enumerate(slots):
+                    if key and version != active:
+                        self._on_key(switch, "local", key, version)
+                if slots[active]:
+                    self._on_key(switch, "local", slots[active], active)
+        for switch, next_seq in sorted(controller._seq.items()):
+            already = self._reserved.get(switch, 0)
+            if next_seq >= already:
+                horizon = next_seq + self.seq_stride
+                self._append("seq_advance",
+                             {"switch": switch, "horizon": horizon},
+                             durable=True)
+                self._reserved[switch] = horizon
+        if shard_id is not None:
+            self._append("shard_map",
+                         {"shard": shard_id,
+                          "switches": sorted(controller.dataplanes)},
+                         durable=True)
+
+
+__all__ = ["DEFAULT_SEQ_STRIDE", "StateRecorder"]

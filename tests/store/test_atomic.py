@@ -1,0 +1,83 @@
+"""The shared atomic-write / orphan-sweep idiom (``repro.store.atomic``)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.store.atomic import (
+    TMP_SUFFIX,
+    atomic_write_bytes,
+    atomic_write_text,
+    sweep_orphan_tmp,
+)
+
+
+class TestAtomicWrite:
+    def test_creates_and_replaces(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_bytes(path, b"one")
+        assert open(path, "rb").read() == b"one"
+        atomic_write_bytes(path, b"two", fsync=True)
+        assert open(path, "rb").read() == b"two"
+
+    def test_text_convenience_is_utf8(self, tmp_path):
+        path = str(tmp_path / "t.txt")
+        atomic_write_text(path, "héllo")
+        assert open(path, "rb").read() == "héllo".encode("utf-8")
+
+    def test_no_tmp_residue_after_success(self, tmp_path):
+        atomic_write_bytes(str(tmp_path / "a"), b"x")
+        assert not [name for name in os.listdir(tmp_path)
+                    if name.endswith(TMP_SUFFIX)]
+
+    def test_failed_replace_leaves_original_and_no_tmp(self, tmp_path,
+                                                      monkeypatch):
+        path = str(tmp_path / "keep.json")
+        atomic_write_bytes(path, b"original")
+
+        def boom(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"clobber")
+        monkeypatch.undo()
+        assert open(path, "rb").read() == b"original"
+        assert not [name for name in os.listdir(tmp_path)
+                    if name.endswith(TMP_SUFFIX)]
+
+
+class TestOrphanSweep:
+    def test_sweeps_recursively_and_counts(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "a.tmp").write_bytes(b"")
+        (tmp_path / "sub" / "b.tmp").write_bytes(b"")
+        (tmp_path / "keep.json").write_bytes(b"{}")
+        assert sweep_orphan_tmp(str(tmp_path)) == 2
+        assert (tmp_path / "keep.json").exists()
+        assert not (tmp_path / "a.tmp").exists()
+
+    def test_missing_directory_is_zero(self, tmp_path):
+        assert sweep_orphan_tmp(str(tmp_path / "nope")) == 0
+
+
+class TestResultCacheUsesIdiom:
+    """Satellite: the engine cache rides the extracted helpers."""
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        cache.put("k1", {"value": 7})
+        assert cache.get("k1") == {"value": 7}
+        assert not [name for name in os.listdir(tmp_path)
+                    if name.endswith(TMP_SUFFIX)]
+
+    def test_clear_sweeps_orphans(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        cache.put("k1", {"value": 7})
+        (tmp_path / "orphan.tmp").write_bytes(b"half-written")
+        cache.clear()
+        assert not (tmp_path / "orphan.tmp").exists()
+        assert cache.get("k1") is None

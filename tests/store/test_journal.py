@@ -1,0 +1,256 @@
+"""The CRC-framed write-ahead journal: framing, healing, fsync, crashes."""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.store.journal import (
+    FSYNC_POLICIES,
+    Journal,
+    JournalCorruption,
+    MAX_PAYLOAD_BYTES,
+    RECORD_TYPES,
+)
+
+
+def fresh(tmp_path, **kwargs) -> Journal:
+    journal = Journal(str(tmp_path / "wal"), **kwargs)
+    journal.open()
+    return journal
+
+
+def active_segment(journal: Journal) -> str:
+    return journal._active_path
+
+
+class TestAppendReplay:
+    def test_roundtrip_preserves_order_types_and_data(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.append("key_install",
+                       {"switch": "s1", "kind": "seed", "key": 7,
+                        "version": 0}, durable=True)
+        journal.append("seq_advance", {"switch": "s1", "horizon": 64},
+                       durable=True)
+        journal.append("batch_open", {"switch": "s1", "reg": "demo",
+                                      "index": 3})
+        journal.close()
+
+        reopened = Journal(str(tmp_path / "wal"))
+        records = reopened.open()
+        assert [r.lsn for r in records] == [0, 1, 2]
+        assert [r.type for r in records] == ["key_install", "seq_advance",
+                                             "batch_open"]
+        assert records[1].data == {"switch": "s1", "horizon": 64}
+        assert reopened.next_lsn == 3
+        assert reopened.torn_records == 0
+
+    def test_unknown_record_type_refused(self, tmp_path):
+        journal = fresh(tmp_path)
+        with pytest.raises(ValueError, match="unknown record type"):
+            journal.append("not_a_type", {})
+
+    def test_append_after_close_refused(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.close()
+        assert not journal.is_open
+        with pytest.raises(RuntimeError, match="not open"):
+            journal.append("seq_advance", {"switch": "s1", "horizon": 1})
+
+    def test_every_declared_type_roundtrips(self, tmp_path):
+        journal = fresh(tmp_path)
+        for rec_type in RECORD_TYPES:
+            journal.append(rec_type, {"switch": "s1", "kind": "seed",
+                                      "key": 1, "version": 0, "horizon": 9,
+                                      "reg": "r", "index": 0, "shard": "a",
+                                      "switches": [], "epoch": 1})
+        journal.close()
+        records = Journal(str(tmp_path / "wal")).open()
+        assert [r.type for r in records] == list(RECORD_TYPES)
+
+
+class TestTornTail:
+    def append_three(self, tmp_path):
+        journal = fresh(tmp_path)
+        for horizon in (10, 20, 30):
+            journal.append("seq_advance",
+                           {"switch": "s1", "horizon": horizon},
+                           durable=True)
+        path = active_segment(journal)
+        journal.close()
+        return path
+
+    def test_truncated_header_heals_to_last_valid(self, tmp_path):
+        path = self.append_three(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"\x05\x00")  # half a frame header
+        reopened = Journal(str(tmp_path / "wal"))
+        records = reopened.open()
+        assert [r.data["horizon"] for r in records] == [10, 20, 30]
+        assert reopened.torn_records == 1
+        # The file was truncated back: a second open is clean.
+        reopened.close()
+        again = Journal(str(tmp_path / "wal"))
+        again.open()
+        assert again.torn_records == 0
+
+    def test_short_payload_heals(self, tmp_path):
+        path = self.append_three(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", 100, 0) + b"short")
+        reopened = Journal(str(tmp_path / "wal"))
+        assert len(reopened.open()) == 3
+        assert reopened.torn_records == 1
+
+    def test_crc_mismatch_on_final_record_heals(self, tmp_path):
+        path = self.append_three(tmp_path)
+        # Flip one payload byte of the final frame in place.
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        reopened = Journal(str(tmp_path / "wal"))
+        records = reopened.open()
+        assert [r.data["horizon"] for r in records] == [10, 20]
+        assert reopened.torn_records == 1
+
+    def test_absurd_length_field_is_torn_not_allocated(self, tmp_path):
+        path = self.append_three(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", MAX_PAYLOAD_BYTES + 1, 0))
+        reopened = Journal(str(tmp_path / "wal"))
+        assert len(reopened.open()) == 3
+        assert reopened.torn_records == 1
+
+    def test_healed_journal_appends_contiguously(self, tmp_path):
+        path = self.append_three(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"garbage")
+        reopened = Journal(str(tmp_path / "wal"))
+        reopened.open()
+        record = reopened.append("seq_advance",
+                                 {"switch": "s1", "horizon": 40},
+                                 durable=True)
+        assert record.lsn == 3
+        reopened.close()
+        records = Journal(str(tmp_path / "wal")).open()
+        assert [r.lsn for r in records] == [0, 1, 2, 3]
+
+    def test_sealed_segment_corruption_refuses(self, tmp_path):
+        journal = fresh(tmp_path, segment_max_bytes=1 << 20)
+        journal.append("seq_advance", {"switch": "s1", "horizon": 1},
+                       durable=True)
+        sealed = active_segment(journal)
+        journal.rotate()
+        journal.append("seq_advance", {"switch": "s1", "horizon": 2},
+                       durable=True)
+        journal.close()
+        blob = bytearray(open(sealed, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(sealed, "wb") as handle:
+            handle.write(blob)
+        with pytest.raises(JournalCorruption, match="sealed segment"):
+            Journal(str(tmp_path / "wal")).open()
+
+
+class TestFsyncDiscipline:
+    def test_policies_are_validated(self, tmp_path):
+        assert FSYNC_POLICIES == ("always", "batch", "never")
+        with pytest.raises(ValueError):
+            Journal(str(tmp_path / "wal"), fsync="sometimes")
+
+    def test_always_has_zero_lag(self, tmp_path):
+        journal = fresh(tmp_path, fsync="always")
+        journal.append("batch_open", {"switch": "s1", "reg": "r",
+                                      "index": 0})
+        assert journal.lag == 0
+        assert journal.durable_lsn == 0
+
+    def test_batch_lag_grows_until_durable_record(self, tmp_path):
+        journal = fresh(tmp_path, fsync="batch")
+        journal.append("batch_open", {"switch": "s1", "reg": "r",
+                                      "index": 0})
+        journal.append("batch_close", {"switch": "s1"})
+        assert journal.lag == 2
+        # A durable record forces the group commit: everything before
+        # it rides along.
+        journal.append("seq_advance", {"switch": "s1", "horizon": 5},
+                       durable=True)
+        assert journal.lag == 0
+        assert journal.durable_lsn == 2
+
+    def test_simulate_crash_drops_exactly_the_unsynced_tail(self, tmp_path):
+        journal = fresh(tmp_path, fsync="batch")
+        journal.append("seq_advance", {"switch": "s1", "horizon": 5},
+                       durable=True)
+        journal.append("batch_open", {"switch": "s1", "reg": "r",
+                                      "index": 0})
+        journal.append("batch_close", {"switch": "s1"})
+        journal.simulate_crash()
+        assert not journal.is_open
+        records = Journal(str(tmp_path / "wal")).open()
+        assert [r.type for r in records] == ["seq_advance"]
+
+    def test_never_policy_loses_everything_on_crash(self, tmp_path):
+        journal = fresh(tmp_path, fsync="never")
+        journal.append("seq_advance", {"switch": "s1", "horizon": 5},
+                       durable=True)
+        journal.simulate_crash()
+        assert Journal(str(tmp_path / "wal")).open() == []
+
+
+class TestSegments:
+    def small(self, tmp_path, n=20):
+        journal = fresh(tmp_path, segment_max_bytes=160)
+        for horizon in range(1, n + 1):
+            journal.append("seq_advance",
+                           {"switch": "s1", "horizon": horizon},
+                           durable=True)
+        return journal
+
+    def test_rotation_splits_and_replay_spans_segments(self, tmp_path):
+        journal = self.small(tmp_path)
+        segment_count = len(journal._segments())
+        assert segment_count > 1
+        journal.close()
+        records = Journal(str(tmp_path / "wal"),
+                          segment_max_bytes=160).open()
+        assert [r.lsn for r in records] == list(range(20))
+
+    def test_compact_removes_only_covered_sealed_segments(self, tmp_path):
+        journal = self.small(tmp_path)
+        before = len(journal._segments())
+        removed = journal.compact(journal.next_lsn)
+        # Every sealed segment is covered; the active one survives.
+        assert removed == before - 1
+        assert len(journal._segments()) == 1
+        journal.close()
+        # Replay after compaction starts at the surviving base LSN.
+        reopened = Journal(str(tmp_path / "wal"), segment_max_bytes=160)
+        records = reopened.open()
+        assert records[0].lsn > 0
+        assert records[-1].lsn == 19
+
+    def test_compact_respects_upto_lsn(self, tmp_path):
+        journal = self.small(tmp_path)
+        segments = journal._segments()
+        # A snapshot covering only the first segment deletes exactly it.
+        first_next_base = segments[1][0]
+        assert journal.compact(0) == 0
+        assert journal.compact(first_next_base) == 1
+        assert journal._segments()[0][0] == first_next_base
+
+    def test_records_iterator_filters_by_lsn(self, tmp_path):
+        journal = self.small(tmp_path, n=6)
+        tail = list(journal.records(start_lsn=4))
+        assert [r.lsn for r in tail] == [4, 5]
+
+    def test_on_append_hook_fires_synchronously(self, tmp_path):
+        journal = fresh(tmp_path)
+        seen = []
+        journal.on_append.append(lambda record: seen.append(record.type))
+        journal.append("batch_open", {"switch": "s1", "reg": "r",
+                                      "index": 0})
+        assert seen == ["batch_open"]
