@@ -42,6 +42,7 @@ from repro.store.atomic import (
     TMP_SUFFIX,
     atomic_write_bytes,
     atomic_write_text,
+    fsync_dir,
     sweep_orphan_tmp,
 )
 from repro.store.journal import (
@@ -78,6 +79,7 @@ __all__ = [
     "apply_record",
     "atomic_write_bytes",
     "atomic_write_text",
+    "fsync_dir",
     "load_state",
     "open_store",
     "replay_records",

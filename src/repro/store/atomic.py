@@ -22,15 +22,40 @@ import tempfile
 TMP_SUFFIX = ".tmp"
 
 
+def fsync_dir(path: str) -> None:
+    """Fsync the directory ``path`` so a just-performed rename, create,
+    or unlink of an entry in it survives power loss.
+
+    File-content fsync alone does not persist the *directory entry* on
+    journaling filesystems; without this, a power failure can undo an
+    ``os.replace`` whose payload was already durable.  Best-effort:
+    platforms or filesystems that refuse to open/fsync a directory
+    (some network mounts, Windows) are silently tolerated — they offer
+    no stronger primitive anyway.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_bytes(path: str, data: bytes, fsync: bool = False) -> None:
     """Atomically create/replace ``path`` with ``data``.
 
     The temp file lives in ``path``'s directory so the final
     ``os.replace`` is a same-filesystem rename (atomic on POSIX).  With
     ``fsync=True`` the payload is flushed to stable storage before the
-    rename, so a power failure cannot surface an empty committed file.
-    On any failure the temp file is removed and the original ``path``
-    (if it existed) is untouched.
+    rename and the containing directory is fsynced after it, so a power
+    failure can neither surface a torn committed file nor silently lose
+    the rename.  On any failure the temp file is removed and the
+    original ``path`` (if it existed) is untouched.
     """
     directory = os.path.dirname(path) or "."
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=TMP_SUFFIX)
@@ -41,6 +66,8 @@ def atomic_write_bytes(path: str, data: bytes, fsync: bool = False) -> None:
                 handle.flush()
                 os.fsync(handle.fileno())
         os.replace(tmp, path)
+        if fsync:
+            fsync_dir(directory)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -81,5 +108,6 @@ __all__ = [
     "TMP_SUFFIX",
     "atomic_write_bytes",
     "atomic_write_text",
+    "fsync_dir",
     "sweep_orphan_tmp",
 ]

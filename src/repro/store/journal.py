@@ -58,7 +58,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.crypto.crc import Crc32
-from repro.store.atomic import sweep_orphan_tmp
+from repro.store.atomic import fsync_dir, sweep_orphan_tmp
 
 #: Frame header: payload length, payload CRC-32 (both u32 LE).
 _FRAME = struct.Struct("<II")
@@ -180,14 +180,21 @@ class Journal:
         segments = self._segments()
         for index, (base, path) in enumerate(segments):
             final = index == len(segments) - 1
-            records.extend(self._scan_segment(base, path, heal_tail=final))
-        if records and [r.lsn for r in records] != \
-                list(range(records[0].lsn, records[0].lsn + len(records))):
-            raise JournalCorruption(
-                f"{self.root}: segment LSNs are not contiguous")
-        self.next_lsn = records[-1].lsn + 1 if records else \
-            (segments[-1][0] if segments else 0)
+            seg_records = self._scan_segment(base, path, heal_tail=final)
+            if seg_records and records \
+                    and seg_records[0].lsn != records[-1].lsn + 1:
+                raise JournalCorruption(
+                    f"{self.root}: segment LSNs are not contiguous")
+            records.extend(seg_records)
+        self.next_lsn = records[-1].lsn + 1 if records else 0
+        # An empty active segment *ahead* of the record stream is the
+        # durable mark of :meth:`skip_to` — recovery clamped the LSN
+        # space past a snapshot that covers records this journal never
+        # held.  Resume there, never below it.
+        if segments and segments[-1][0] > self.next_lsn:
+            self.next_lsn = segments[-1][0]
         self.durable_lsn = self.next_lsn - 1
+        fresh_segment = not segments
         if segments:
             self._active_base, self._active_path = segments[-1]
         else:
@@ -195,6 +202,8 @@ class Journal:
             self._active_path = os.path.join(
                 self.root, _SEGMENT_FMT % self._active_base)
         self._handle = open(self._active_path, "ab")
+        if fresh_segment and self.fsync_policy != "never":
+            fsync_dir(self.root)
         self._written_bytes = self._handle.tell()
         self._synced_bytes = self._written_bytes
         self._opened = True
@@ -294,7 +303,32 @@ class Journal:
         self._handle = open(self._active_path, "ab")
         self._written_bytes = 0
         self._synced_bytes = 0
+        if self.fsync_policy != "never":
+            fsync_dir(self.root)
         return self._active_path
+
+    def skip_to(self, lsn: int) -> None:
+        """Clamp ``next_lsn`` forward to ``lsn`` (no-op when not ahead).
+
+        Recovery calls this when a surviving snapshot covers LSNs the
+        journal itself lost (e.g. a crash under ``fsync='batch'`` on a
+        state dir written before snapshots forced a sync): fresh records
+        must never be assigned LSNs the snapshot already covers, or the
+        *next* recovery's tail replay would silently skip them.  The
+        skip is made durable by sealing the active segment and opening a
+        new one whose file name carries the clamped base LSN.
+        """
+        if not self._opened:
+            raise RuntimeError("journal is not open")
+        if lsn <= self.next_lsn:
+            return
+        self.next_lsn = lsn
+        self.rotate()
+        # Everything below the clamp is covered by the snapshot that
+        # forced it; compacting immediately keeps the on-disk segment
+        # chain contiguous (a gap before a *non-empty* segment reads as
+        # corruption on the next open).
+        self.compact(lsn)
 
     def compact(self, upto_lsn: int) -> int:
         """Delete sealed segments fully covered by a snapshot at
@@ -309,6 +343,8 @@ class Journal:
             if next_base <= upto_lsn:
                 os.unlink(path)
                 removed += 1
+        if removed and self.fsync_policy != "never":
+            fsync_dir(self.root)
         return removed
 
     def simulate_crash(self) -> None:

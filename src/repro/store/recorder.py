@@ -17,6 +17,10 @@ horizon.  Recovery resumes issuing **at** the horizon — skipping up to
 ``stride - 1`` never-used numbers, which the data plane's monotonic
 ``expected_seq`` accepts by design — so no sequence number can ever be
 reused, which is exactly the property the replay defense needs.
+Horizons are journaled *unmasked*: the controller's counter wraps at 32
+bits, but the journal lifts each reported value onto a monotone counter
+(serial-number arithmetic), so a post-wrap horizon still reads as
+forward movement on replay instead of being rejected as stale.
 
 The recorder also folds every record it writes into an in-memory
 :class:`~repro.store.state.StoreState` mirror through the same pure
@@ -31,7 +35,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.store.journal import Journal
 from repro.store.snapshot import SnapshotStore
-from repro.store.state import StoreState, apply_record
+from repro.store.state import SEQ_MASK, StoreState, apply_record
 
 #: Sequence numbers reserved (journaled) ahead of use per switch.
 DEFAULT_SEQ_STRIDE = 64
@@ -56,6 +60,10 @@ class StateRecorder:
         #: state so the first snapshot after a warm restart is complete).
         self.state = state if state is not None else StoreState()
         self._reserved: Dict[str, int] = dict(self.state.seq_horizons)
+        #: Per-switch unmasked monotone sequence counter.  The
+        #: controller reports masked 32-bit values; the journal keeps
+        #: horizons unmasked so they stay monotone across a wrap.
+        self._unmasked: Dict[str, int] = dict(self.state.seq_horizons)
         self._since_snapshot = 0
         self._controller = None
         self._batch = None
@@ -115,6 +123,13 @@ class StateRecorder:
         """Write a snapshot of the mirror and compact covered segments."""
         if self.snapshots is None:
             return None
+        # The mirror may run ahead of stable storage under the "batch"
+        # fsync policy (non-durable records buffer until the next group
+        # commit).  A snapshot must never cover LSNs the journal could
+        # still lose in a crash — recovery would resume below the
+        # snapshot's coverage and silently skip every new record whose
+        # LSN the stale snapshot shadows.  Sync first, then snapshot.
+        self.journal.sync()
         path = self.snapshots.save(self.state)
         self.journal.compact(self.state.applied_lsn + 1)
         self._since_snapshot = 0
@@ -137,9 +152,10 @@ class StateRecorder:
                           "version": version}, durable=True)
 
     def _on_seq(self, switch: str, seq: int) -> None:
-        if seq < self._reserved.get(switch, 0):
+        unmasked = self._unmask(switch, seq)
+        if unmasked < self._reserved.get(switch, 0):
             return
-        horizon = seq + self.seq_stride
+        horizon = unmasked + self.seq_stride
         self._append("seq_advance", {"switch": switch, "horizon": horizon},
                      durable=True)
         self._reserved[switch] = horizon
@@ -159,6 +175,25 @@ class StateRecorder:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _unmask(self, switch: str, seq: int) -> int:
+        """Lift a masked 32-bit controller sequence number onto the
+        journal's unmasked monotone counter.
+
+        Serial-number arithmetic: a masked value that moved *backwards*
+        by more than half the 32-bit space is a wrap forward into the
+        next ``2**32`` block.  Journaled horizons stay unmasked, so
+        ``apply_record``'s forward-only rule keeps accepting them across
+        a wrap; they are masked back down only where a 32-bit register
+        or the controller's own counter needs the value.
+        """
+        prev = self._unmasked.get(switch, 0)
+        unmasked = (prev & ~SEQ_MASK) | (seq & SEQ_MASK)
+        if unmasked < prev and prev - unmasked > (SEQ_MASK >> 1):
+            unmasked += SEQ_MASK + 1
+        if unmasked > prev:
+            self._unmasked[switch] = unmasked
+        return unmasked
 
     def _append(self, rec_type: str, data: Dict[str, object],
                 durable: bool = False) -> None:
@@ -198,8 +233,9 @@ class StateRecorder:
                     self._on_key(switch, "local", slots[active], active)
         for switch, next_seq in sorted(controller._seq.items()):
             already = self._reserved.get(switch, 0)
-            if next_seq >= already:
-                horizon = next_seq + self.seq_stride
+            unmasked = self._unmask(switch, next_seq)
+            if unmasked >= already:
+                horizon = unmasked + self.seq_stride
                 self._append("seq_advance",
                              {"switch": switch, "horizon": horizon},
                              durable=True)

@@ -186,6 +186,16 @@ def warm_restart(state_dir: str, controller, *, batch=None, authority=None,
     journal, snapshots, records = open_store(
         state_dir, fsync=fsync, keep=keep, metrics=metrics, **metric_labels)
     state, snapshot_used, replayed = load_state(records, snapshots)
+    # A surviving snapshot can cover LSNs the journal itself lost (a
+    # state dir written under fsync='batch' by a build that snapshotted
+    # without syncing first).  Clamp the LSN space forward so fresh
+    # records are never assigned LSNs the snapshot already covers —
+    # tail replay skips everything at or below ``applied_lsn``, so a
+    # collision would silently erase acknowledged durable records on
+    # the *next* recovery.  Everything below the clamp is inside the
+    # snapshot (``skip_to`` compacts the covered segments away).
+    if state.applied_lsn + 1 > journal.next_lsn:
+        journal.skip_to(state.applied_lsn + 1)
     # The recovery-time truth, frozen before the new recorder starts
     # mutating `state` (attach immediately reserves fresh seq horizons
     # — the *report* must keep the horizons the controller resumes at,

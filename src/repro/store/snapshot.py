@@ -23,7 +23,11 @@ import os
 from typing import List, Optional, Tuple
 
 from repro.crypto.crc import Crc32
-from repro.store.atomic import atomic_write_bytes, sweep_orphan_tmp
+from repro.store.atomic import (
+    atomic_write_bytes,
+    fsync_dir,
+    sweep_orphan_tmp,
+)
 from repro.store.state import StoreState
 
 SNAPSHOT_SCHEMA = "repro-store-snapshot/1"
@@ -133,11 +137,15 @@ class SnapshotStore:
 
     def _prune(self) -> None:
         snapshots = self._snapshots()
+        removed = 0
         for _lsn, path in snapshots[:-self.keep]:
             try:
                 os.unlink(path)
+                removed += 1
             except OSError:
                 pass
+        if removed:
+            fsync_dir(self.root)
 
 
 __all__ = ["SNAPSHOT_SCHEMA", "SnapshotStore"]

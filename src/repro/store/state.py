@@ -24,7 +24,10 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.core.constants import KEY_VERSIONS
 
-#: Sequence numbers wrap at 32 bits, exactly like the controller's.
+#: The controller's sequence counter wraps at 32 bits.  Journaled
+#: horizons are kept *unmasked* (monotone across wraps — the recorder
+#: lifts masked values with serial-number arithmetic); this mask is
+#: applied only where a 32-bit register or counter needs the value.
 SEQ_MASK = 0xFFFFFFFF
 
 
@@ -149,7 +152,10 @@ def apply_record(state: StoreState, record) -> StoreState:
         entry.has_local = True
     elif rec_type == "seq_advance":
         switch = data["switch"]
-        horizon = int(data["horizon"]) & SEQ_MASK
+        # Unmasked: horizons are monotone even across the controller's
+        # 32-bit wrap (masking here would make a post-wrap horizon look
+        # stale and freeze reservations at the pre-wrap value).
+        horizon = int(data["horizon"])
         # Horizons only move forward; a replayed stale horizon must not
         # drag recovery below sequence numbers already burned.
         if horizon > state.seq_horizons.get(switch, 0):

@@ -11,6 +11,7 @@ from repro.store.atomic import (
     TMP_SUFFIX,
     atomic_write_bytes,
     atomic_write_text,
+    fsync_dir,
     sweep_orphan_tmp,
 )
 
@@ -48,6 +49,26 @@ class TestAtomicWrite:
         assert open(path, "rb").read() == b"original"
         assert not [name for name in os.listdir(tmp_path)
                     if name.endswith(TMP_SUFFIX)]
+
+
+class TestFsyncDir:
+    def test_fsyncs_committed_rename_durably(self, tmp_path, monkeypatch):
+        """``fsync=True`` must fsync the *directory* after the replace —
+        file-content fsync alone does not persist the rename."""
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+        atomic_write_bytes(str(tmp_path / "doc.json"), b"x", fsync=True)
+        # One fsync for the payload, one for the directory entry.
+        assert len(synced) == 2
+
+    def test_tolerates_missing_file_and_real_directory_targets(self,
+                                                               tmp_path):
+        fsync_dir(str(tmp_path / "nope"))
+        (tmp_path / "plain.txt").write_bytes(b"")
+        fsync_dir(str(tmp_path / "plain.txt"))
+        fsync_dir(str(tmp_path))
 
 
 class TestOrphanSweep:

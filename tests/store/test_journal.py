@@ -254,3 +254,45 @@ class TestSegments:
         journal.append("batch_open", {"switch": "s1", "reg": "r",
                                       "index": 0})
         assert seen == ["batch_open"]
+
+
+class TestSkipTo:
+    """The recovery LSN clamp: fresh records must never be assigned
+    LSNs a surviving snapshot already covers."""
+
+    def test_clamps_forward_and_compacts_covered_segments(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.append("epoch_advance", {"switch": "s1", "epoch": 1})
+        journal.skip_to(100)
+        assert journal.next_lsn == 100
+        # The covered segment is gone; appends land at the clamped LSN.
+        record = journal.append("seq_advance",
+                                {"switch": "s1", "horizon": 7},
+                                durable=True)
+        assert record.lsn == 100
+        journal.close()
+
+        reopened = Journal(str(tmp_path / "wal"))
+        records = reopened.open()
+        assert [r.lsn for r in records] == [100]
+        assert reopened.next_lsn == 101
+
+    def test_skip_is_durable_before_any_append(self, tmp_path):
+        """A crash right after the clamp must not resurrect the old LSN
+        space: the empty active segment's base carries the skip."""
+        journal = fresh(tmp_path)
+        journal.append("epoch_advance", {"switch": "s1", "epoch": 1})
+        journal.skip_to(64)
+        journal.simulate_crash()
+        reopened = Journal(str(tmp_path / "wal"))
+        assert reopened.open() == []
+        assert reopened.next_lsn == 64
+
+    def test_not_ahead_is_a_noop(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.append("epoch_advance", {"switch": "s1", "epoch": 1})
+        segments = len(journal._segments())
+        journal.skip_to(1)
+        journal.skip_to(0)
+        assert journal.next_lsn == 1
+        assert len(journal._segments()) == segments

@@ -16,6 +16,7 @@ from tests.conftest import Deployment
 from repro.core.controller import P4AuthController
 from repro.runtime.batch import BatchController
 from repro.store import (
+    SnapshotStore,
     StateRecorder,
     load_state,
     open_store,
@@ -23,7 +24,8 @@ from repro.store import (
     store_exists,
     warm_restart,
 )
-from repro.store.state import KeyEntry, StoreState
+from repro.store.recovery import SNAPSHOT_SUBDIR
+from repro.store.state import SEQ_MASK, KeyEntry, StoreState
 
 REGISTERS = [("demo", 64, 16)]
 
@@ -176,6 +178,102 @@ class TestWarmRestart:
         assert write_ok(dep, dep.controller, "s1", 0, 5)
         recorder.detach()
         recorder.journal.close()
+
+
+class TestSnapshotDurability:
+    """A snapshot must never cover LSNs the journal could still lose."""
+
+    def test_snapshot_syncs_batched_journal_first(self, tmp_path):
+        journal, snapshots, _ = open_store(str(tmp_path), fsync="batch")
+        recorder = StateRecorder(journal, snapshots, snapshot_every=2)
+        # Two non-durable records trigger the auto-snapshot; nothing
+        # else would have forced a group commit for them.
+        recorder._append("epoch_advance", {"switch": "s1", "epoch": 1})
+        recorder._append("epoch_advance", {"switch": "s1", "epoch": 2})
+        assert journal.durable_lsn == 1  # the snapshot forced the sync
+        journal.simulate_crash()
+
+        # Recovery resumes at the snapshot's coverage, not below it —
+        # so this fresh acknowledged-durable record gets LSN 2, not 0.
+        journal2, snapshots2, records = open_store(str(tmp_path),
+                                                   fsync="batch")
+        state, snapshot_used, _ = load_state(records, snapshots2)
+        assert snapshot_used
+        assert journal2.next_lsn == state.applied_lsn + 1 == 2
+        journal2.append("seq_advance", {"switch": "s1", "horizon": 64},
+                        durable=True)
+        journal2.simulate_crash()
+
+        # The record is NOT shadowed by the snapshot on the next replay.
+        journal3, snapshots3, records3 = open_store(str(tmp_path),
+                                                    fsync="batch")
+        state3, _, replayed3 = load_state(records3, snapshots3)
+        assert replayed3 == 1
+        assert state3.seq_horizons == {"s1": 64}
+        assert state3.epochs == {"s1": 2}
+        journal3.close()
+
+    def test_stale_snapshot_ahead_of_journal_is_clamped(self, tmp_path):
+        """A state dir from a pre-fix build: the snapshot covers LSNs
+        the crashed journal never fsynced.  Recovery clamps the LSN
+        space past it, so post-restart records survive the restart
+        after next."""
+        snapshots = SnapshotStore(str(tmp_path / SNAPSHOT_SUBDIR))
+        stale = StoreState(applied_lsn=7)
+        stale.seq_horizons["s1"] = 40
+        snapshots.save(stale)
+
+        dep = deployment()
+        controller = dep.controller
+        recorder, report = warm_restart(str(tmp_path), controller,
+                                        fsync="batch", seq_stride=4)
+        assert report.snapshot_used
+        assert report.seq_horizons["s1"] == 40
+        assert controller._seq["s1"] == 40
+        # Every record the new recorder journals sits above the
+        # snapshot's coverage.
+        assert recorder.state.applied_lsn >= 8
+        assert write_ok(dep, controller, "s1", 0, 17)
+        recorder.journal.simulate_crash()
+        recorder.detach()
+        controller.halt()
+
+        controller2 = P4AuthController(dep.net)
+        for dataplane in dep.dataplanes.values():
+            controller2.provision(dataplane)
+        recorder2, report2 = warm_restart(str(tmp_path), controller2,
+                                          fsync="batch", seq_stride=4)
+        # The post-clamp reservations were replayed, not shadowed.
+        assert report2.seq_horizons["s1"] > 40
+        recorder2.detach()
+        recorder2.journal.close()
+
+
+class TestSequenceWrap:
+    """Journaled horizons stay monotone across the 32-bit seq wrap."""
+
+    def test_horizon_advances_past_the_wrap(self, tmp_path):
+        journal, snapshots, _ = open_store(str(tmp_path))
+        seeded = StoreState()
+        seeded.seq_horizons["s1"] = SEQ_MASK - 7  # reservation near top
+        recorder = StateRecorder(journal, snapshots, seq_stride=8,
+                                 state=seeded)
+        # The controller reports masked values; issuance reaches the
+        # reservation, then wraps to 0.
+        recorder._on_seq("s1", SEQ_MASK - 7)
+        recorder._on_seq("s1", 0)
+        horizon = recorder.state.seq_horizons["s1"]
+        assert horizon == SEQ_MASK + 1 + 8  # unmasked, past the wrap
+        journal.close()
+
+        # Replay agrees: the post-wrap horizon is forward movement, not
+        # a stale reservation to be rejected.
+        journal2, snapshots2, records = open_store(str(tmp_path))
+        state, _, _ = load_state(records, snapshots2)
+        assert state.seq_horizons["s1"] == horizon
+        # Masked back down only at the 32-bit register boundary.
+        assert horizon & SEQ_MASK == 8
+        journal2.close()
 
 
 class TestRestoreDataplane:
