@@ -1,0 +1,103 @@
+"""Persona × system matrix: operating curves for every attacker.
+
+Runs the ``persona_matrix`` experiment in its ``--short`` shape (full
+persona × system cover, one rate below and one above the §VIII alert
+threshold) and reports the two operating curves the matrix exists to
+measure:
+
+* **detection latency** per (persona, system) — virtual seconds from
+  arm to the first defense signal, with the signal named;
+* **DoS threshold** — at which injection rate the alert rate limiter
+  engages, per persona.
+
+Gates: zero forged writes in every cell, every persona detected on at
+least one system, and the post-attack clean write succeeding everywhere.
+"""
+
+import os
+
+from repro.analysis import format_table
+from repro.attacks.personas import PERSONA_KINDS
+from repro.engine import run_experiment, write_artifact
+from repro.experiments.persona_matrix import SYSTEMS
+
+#: The --short rate axis brackets the §VIII alert threshold (100/s).
+RATE_LOW_HZ = 40.0
+RATE_HIGH_HZ = 400.0
+
+
+def run_matrix():
+    return run_experiment("persona_matrix", short=True, workers=2)
+
+
+def test_persona_matrix(benchmark, report):
+    run = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    # -- detection-latency curve (at the high rate) ---------------------
+    rows = []
+    for persona in PERSONA_KINDS:
+        for system in SYSTEMS:
+            r = run.result_for(persona=persona, system=system,
+                               attack_rate_hz=RATE_HIGH_HZ)
+            latency = (f"{r['detection_latency_s'] * 1e3:.0f} ms"
+                       if r["detected"] else "-")
+            rows.append([
+                persona, system,
+                "yes" if r["detected"] else "no surface",
+                latency,
+                r["detection_signal"] or "-",
+                r["forged_writes"],
+            ])
+    report(format_table(
+        ["persona", "system", "detected", "latency", "signal", "forged"],
+        rows,
+        title=f"Detection latency at {RATE_HIGH_HZ:.0f} Hz injection"))
+
+    # -- DoS-threshold curve (rate at which mitigation engages) ---------
+    rows = []
+    for persona in PERSONA_KINDS:
+        engaged_at = []
+        for rate in (RATE_LOW_HZ, RATE_HIGH_HZ):
+            hits = sum(
+                1 for system in SYSTEMS
+                if run.result_for(persona=persona, system=system,
+                                  attack_rate_hz=rate)["mitigation_engaged"])
+            engaged_at.append(f"{hits}/{len(SYSTEMS)}")
+        rows.append([persona] + engaged_at)
+    report(format_table(
+        ["persona", f"mitigated @ {RATE_LOW_HZ:.0f} Hz",
+         f"mitigated @ {RATE_HIGH_HZ:.0f} Hz"],
+        rows,
+        title="DoS mitigation engagement (systems engaged / total)"))
+
+    results = [t.result for t in run.trials]
+    assert len(results) == len(PERSONA_KINDS) * len(SYSTEMS) * 2
+
+    # Ground truth, matrix-wide: no persona ever lands a forged write,
+    # and the authenticated path still works once the attack stops.
+    for r in results:
+        assert r["forged_writes"] == 0, (
+            f"{r['persona']} vs {r['system']}: forged write landed")
+        assert r["ground_truth_samples"] > 0
+        assert r["clean_write_ok"], (
+            f"{r['persona']} vs {r['system']}: clean write failed")
+
+    # Every persona is detected somewhere in the matrix at the high rate.
+    for persona in PERSONA_KINDS:
+        assert any(
+            run.result_for(persona=persona, system=system,
+                           attack_rate_hz=RATE_HIGH_HZ)["detected"]
+            for system in SYSTEMS), f"{persona} never detected"
+
+    # The DoS flooder traces the threshold: quiet below, engaged above.
+    for system in SYSTEMS:
+        low = run.result_for(persona="dos-flooder", system=system,
+                             attack_rate_hz=RATE_LOW_HZ)
+        high = run.result_for(persona="dos-flooder", system=system,
+                              attack_rate_hz=RATE_HIGH_HZ)
+        assert not low["mitigation_engaged"]
+        assert high["mitigation_engaged"]
+
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    path = write_artifact(run.document(), out_dir)
+    report(f"artifact: {path}")

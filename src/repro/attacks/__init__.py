@@ -24,8 +24,26 @@ from repro.attacks.control_plane import (
 )
 from repro.attacks.link import ProbeFieldTamperer, KeyExchangeTamperer
 from repro.attacks.bruteforce import DigestBruteForcer
+from repro.attacks.personas import (
+    PERSONA_KINDS,
+    GroundTruthSampler,
+    Persona,
+    PersonaOutcome,
+    PersonaSpec,
+    PersonaWorld,
+    WireRecorder,
+    build_persona,
+)
 
 __all__ = [
+    "PERSONA_KINDS",
+    "GroundTruthSampler",
+    "Persona",
+    "PersonaOutcome",
+    "PersonaSpec",
+    "PersonaWorld",
+    "WireRecorder",
+    "build_persona",
     "Adversary",
     "Eavesdropper",
     "MessageDropper",

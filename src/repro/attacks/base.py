@@ -34,10 +34,25 @@ class Adversary:
         self._attached: List[object] = []
 
     def attach(self, channel) -> "Adversary":
-        """Install this adversary's tap on a Link or ControlChannel."""
+        """Install this adversary's tap on a Link or ControlChannel.
+
+        Idempotent per channel: attaching to the same channel twice
+        installs exactly one tap, so stats are never double-counted and
+        :meth:`detach_all` always leaves the channel clean.
+        """
+        if any(existing is channel for existing in self._attached):
+            return self
         channel.add_tap(self._tap)
         self._attached.append(channel)
         return self
+
+    def detach(self, channel) -> None:
+        """Remove this adversary's tap from one channel (no-op if absent)."""
+        for existing in list(self._attached):
+            if existing is channel:
+                channel.remove_tap(self._tap)
+                self._attached.remove(existing)
+                return
 
     def detach_all(self) -> None:
         for channel in self._attached:

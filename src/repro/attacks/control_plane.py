@@ -142,18 +142,38 @@ class DosFlooder:
         self._prng = XorShiftPrng(seed)
         self.sent = 0
         self._active = False
+        self._deadline = 0.0
+        # Timer-loop generation: every (re)start bumps it, and a pending
+        # ``_fire`` from an older generation dies on arrival, so there is
+        # never more than one live timer chain no matter how start/stop
+        # interleave.
+        self._generation = 0
 
     def start(self, duration_s: float) -> None:
+        """Begin (or extend) the flood.
+
+        Calling ``start`` while already active only extends the deadline;
+        it never chains a second timer loop (which would double the
+        effective rate and corrupt ``sent``).
+        """
+        deadline = self.network.sim.now + duration_s
+        if self._active:
+            self._deadline = max(self._deadline, deadline)
+            return
         self._active = True
-        self._deadline = self.network.sim.now + duration_s
-        self._fire()
+        self._deadline = deadline
+        self._generation += 1
+        self._fire(self._generation)
 
     def stop(self) -> None:
         self._active = False
 
-    def _fire(self) -> None:
+    def _fire(self, generation: Optional[int] = None) -> None:
         sim = self.network.sim
-        if not self._active or sim.now >= self._deadline:
+        if generation is None:
+            generation = self._generation
+        if (generation != self._generation or not self._active
+                or sim.now >= self._deadline):
             return
         forged = self._build(self.reg_id, index=0,
                              value=self._prng.next_bits(32),
@@ -162,4 +182,4 @@ class DosFlooder:
         node = self.network.nodes[self.switch_name]
         sim.schedule(0.0, node.receive, forged, DataplaneSwitch.CPU_PORT)
         self.sent += 1
-        sim.schedule(1.0 / self.rate_hz, self._fire)
+        sim.schedule(1.0 / self.rate_hz, self._fire, generation)

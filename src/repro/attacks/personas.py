@@ -1,0 +1,572 @@
+"""First-class attacker personas: composable, seeded, declarative.
+
+The attacks battery models each of the paper's point adversaries (§II-A,
+§VIII) as a hand-wired object inside one experiment.  This module lifts
+them into *personas*: frozen :class:`PersonaSpec` components — pure data,
+declared alongside :class:`~repro.faults.plan.FaultPlan` — that a runner
+turns into live adversaries with a uniform lifecycle::
+
+    persona = build_persona(PersonaSpec(kind="dos-flooder", rate_hz=400))
+    persona.arm(world)       # install taps / timers against a live world
+    ...
+    persona.disarm()         # withdraw cleanly
+    persona.outcome()        # AdversaryStats-based outcome record
+
+Every persona is seeded (same spec + same world seed → byte-identical
+injected traffic) and reports a :class:`PersonaOutcome` built on the
+shared :class:`~repro.attacks.base.AdversaryStats` shape, so a persona ×
+system × load sweep (the ``persona_matrix`` experiment) can compare
+reach, detection, and DoS behaviour across the whole matrix.
+
+The six personas and the paper surface each exercises:
+
+========================  ====================================================
+kind                      threat modeled
+========================  ====================================================
+``switch-os-injector``    compromised switch OS (C-DP, Attack 1): tampers
+                          register write requests *and* read responses
+``probe-mitm``            in-path MitM on DP-DP feedback probes (Attack 2);
+                          personas arm it everywhere, but only systems with
+                          in-network feedback expose any reachable surface
+``replay-flooder``        records validly-signed C-DP writes and re-injects
+                          them at rate (§VIII sequence-number defense)
+``rollover-racer``        replays a recorded write the instant a new local
+                          key installs, racing the key-rollover window
+``digest-bruteforcer``    forges one write under many guessed digests
+                          (§VIII "Digest size")
+``dos-flooder``           floods forged requests to trip the alert rate
+                          limiter (§VIII DoS mitigation)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Type
+
+from repro.attacks.base import Adversary, AdversaryStats
+from repro.attacks.bruteforce import DigestBruteForcer
+from repro.attacks.control_plane import (
+    DosFlooder,
+    RegisterRequestTamperer,
+    RegisterResponseTamperer,
+    ReplayAttacker,
+)
+from repro.attacks.link import ProbeFieldTamperer
+from repro.core.constants import REG_OP, RegOpType
+from repro.dataplane.switch import DataplaneSwitch
+
+#: Every persona kind :func:`build_persona` knows how to instantiate.
+PERSONA_KINDS = (
+    "switch-os-injector",
+    "probe-mitm",
+    "replay-flooder",
+    "rollover-racer",
+    "digest-bruteforcer",
+    "dos-flooder",
+)
+
+
+@dataclass(frozen=True)
+class PersonaSpec:
+    """One attacker persona as pure data (frozen, JSONable).
+
+    Declarative on purpose: a spec carries parameters, never callables,
+    so it can ride inside a :class:`~repro.faults.plan.FaultPlan`, a
+    sweep grid, or a cache key.  ``seed`` feeds every random decision the
+    persona makes; identical specs against identical worlds inject
+    byte-identical traffic.
+    """
+
+    kind: str
+    #: Injection/tamper rate where the persona is rate-driven
+    #: (replay-flooder, digest-bruteforcer, dos-flooder).
+    rate_hz: float = 200.0
+    #: PRNG seed for forged values/digests.
+    seed: int = 0xAD5EED
+    #: Value transform for the C-DP injector: ``v -> v ^ xor_mask``.
+    xor_mask: int = 0xDEAD
+    #: Forged field value for the DP-DP probe tamperer.
+    probe_value: int = 2
+
+    def validate(self) -> None:
+        if self.kind not in PERSONA_KINDS:
+            raise ValueError(f"unknown persona kind {self.kind!r} "
+                             f"(expected one of {PERSONA_KINDS})")
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if self.seed < 0:
+            raise ValueError("seed must be >= 0")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "rate_hz": self.rate_hz,
+                "seed": self.seed, "xor_mask": self.xor_mask,
+                "probe_value": self.probe_value}
+
+
+@dataclass
+class PersonaWorld:
+    """Everything a persona may touch when armed.
+
+    The runner (experiment, chaos scenario, test) builds one of these
+    around a live deployment; personas only ever reach the world through
+    it, which keeps arm/disarm symmetric and auditable.
+    """
+
+    sim: object
+    net: object
+    controller: object
+    switch_name: str
+    dataplane: object
+    #: The C-DP-mapped register the control loop writes (attack target).
+    target_register: str
+    control_channel: object
+    #: How long the persona should stay active once armed (bounds the
+    #: schedules of the timer-driven personas).
+    duration_s: float = 1.0
+    #: The DP-DP link carrying in-network feedback, if the world has one.
+    dp_link: Optional[object] = None
+    #: Feedback header/field the DP-DP MitM rewrites, if any.
+    probe_header: Optional[str] = None
+    probe_field: Optional[str] = None
+
+    def target_reg_id(self) -> int:
+        return self.net.switch(self.switch_name).registers.id_of(
+            self.target_register)
+
+
+@dataclass
+class PersonaOutcome:
+    """Shared outcome record: the persona's reach, in AdversaryStats form."""
+
+    kind: str
+    armed_at_s: float
+    disarmed_at_s: float
+    stats: AdversaryStats = field(default_factory=AdversaryStats)
+    #: Persona-specific extras (attempts, replays, etc.).
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "armed_at_s": self.armed_at_s,
+            "disarmed_at_s": self.disarmed_at_s,
+            "seen": self.stats.seen,
+            "modified": self.stats.modified,
+            "dropped": self.stats.dropped,
+            "injected": self.stats.injected,
+            "recorded": self.stats.recorded,
+            **self.extra,
+        }
+
+
+class Persona:
+    """Base persona: uniform ``arm(world)/disarm()`` lifecycle."""
+
+    def __init__(self, spec: PersonaSpec):
+        spec.validate()
+        self.spec = spec
+        self.world: Optional[PersonaWorld] = None
+        self.armed_at_s = -1.0
+        self.disarmed_at_s = -1.0
+        self._armed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def arm(self, world: PersonaWorld) -> "Persona":
+        if self._armed:
+            raise RuntimeError(f"{self.spec.kind} persona is already armed")
+        self.world = world
+        self.armed_at_s = world.sim.now
+        self._armed = True
+        self._arm(world)
+        return self
+
+    def disarm(self) -> None:
+        if not self._armed:
+            return
+        self._armed = False
+        self.disarmed_at_s = self.world.sim.now
+        self._disarm(self.world)
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def outcome(self) -> PersonaOutcome:
+        now = self.world.sim.now if self.world is not None else -1.0
+        return PersonaOutcome(
+            kind=self.spec.kind,
+            armed_at_s=self.armed_at_s,
+            disarmed_at_s=(self.disarmed_at_s if self.disarmed_at_s >= 0
+                           else now),
+            stats=self._stats(),
+            extra=self._extra(),
+        )
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _arm(self, world: PersonaWorld) -> None:
+        raise NotImplementedError
+
+    def _disarm(self, world: PersonaWorld) -> None:
+        raise NotImplementedError
+
+    def _stats(self) -> AdversaryStats:
+        return AdversaryStats()
+
+    def _extra(self) -> Dict[str, float]:
+        return {}
+
+
+def _is_reg_write(packet) -> bool:
+    """True for register write requests, plain or P4Auth framed."""
+    if not packet.has(REG_OP):
+        return False
+    for framing in ("p4auth", "ctl"):
+        if packet.has(framing):
+            return packet.get(framing)["msgType"] == RegOpType.WRITE_REQ
+    return False
+
+
+def _merge_stats(adversaries: List[Adversary]) -> AdversaryStats:
+    total = AdversaryStats()
+    for adversary in adversaries:
+        total.seen += adversary.stats.seen
+        total.modified += adversary.stats.modified
+        total.dropped += adversary.stats.dropped
+        total.injected += adversary.stats.injected
+        total.recorded += adversary.stats.recorded
+    return total
+
+
+class SwitchOsInjector(Persona):
+    """Compromised switch OS (C-DP): tampers requests and responses.
+
+    Wraps :class:`RegisterRequestTamperer` (write requests, ``v ^ mask``)
+    and :class:`RegisterResponseTamperer` (read responses of the target
+    register) on the world's control channel — the §II-A malicious
+    preloaded library, as one composable unit.
+    """
+
+    kind = "switch-os-injector"
+
+    def __init__(self, spec: PersonaSpec):
+        super().__init__(spec)
+        self._adversaries: List[Adversary] = []
+
+    def _arm(self, world: PersonaWorld) -> None:
+        reg_id = world.target_reg_id()
+        mask = self.spec.xor_mask
+        request = RegisterRequestTamperer(reg_id,
+                                          transform=lambda v: v ^ mask)
+        indices = range(world.net.switch(world.switch_name)
+                        .registers.get(world.target_register).size)
+        response = RegisterResponseTamperer(
+            targets=[(reg_id, index) for index in indices],
+            transform=lambda v: v ^ mask)
+        self._adversaries = [request, response]
+        for adversary in self._adversaries:
+            adversary.attach(world.control_channel)
+
+    def _disarm(self, world: PersonaWorld) -> None:
+        for adversary in self._adversaries:
+            adversary.detach_all()
+
+    def _stats(self) -> AdversaryStats:
+        return _merge_stats(self._adversaries)
+
+
+class ProbeMitm(Persona):
+    """In-path MitM on DP-DP feedback probes (Attack 2).
+
+    Arms a :class:`ProbeFieldTamperer` on the world's DP-DP link.  On a
+    world with no feedback link or probe header the persona arms as a
+    no-op — that asymmetry (zero reachable surface) is itself a measured
+    result of the matrix, not an error.
+    """
+
+    kind = "probe-mitm"
+
+    def __init__(self, spec: PersonaSpec):
+        super().__init__(spec)
+        self._tamperer: Optional[ProbeFieldTamperer] = None
+
+    def _arm(self, world: PersonaWorld) -> None:
+        if world.dp_link is None or world.probe_header is None:
+            return
+        self._tamperer = ProbeFieldTamperer(
+            world.probe_header, world.probe_field or "path_util",
+            self.spec.probe_value)
+        self._tamperer.attach(world.dp_link)
+
+    def _disarm(self, world: PersonaWorld) -> None:
+        if self._tamperer is not None:
+            self._tamperer.detach_all()
+
+    def _stats(self) -> AdversaryStats:
+        if self._tamperer is None:
+            return AdversaryStats()
+        return self._tamperer.stats
+
+    def _extra(self) -> Dict[str, float]:
+        return {"surface_reachable": 1.0 if self._tamperer else 0.0}
+
+
+class ReplayFlooder(Persona):
+    """Records validly-signed writes and re-injects them at rate (§VIII).
+
+    Replays carry a bit-for-bit valid digest, so only the
+    sequence-number defense catches them.  Re-injection is a seeded
+    timer loop: round-robin over the recordings at ``rate_hz``.
+    """
+
+    kind = "replay-flooder"
+
+    def __init__(self, spec: PersonaSpec):
+        super().__init__(spec)
+        self._recorder: Optional[ReplayAttacker] = None
+        self._cursor = 0
+        self._generation = 0
+
+    def _arm(self, world: PersonaWorld) -> None:
+        self._recorder = ReplayAttacker(_is_reg_write)
+        self._recorder.attach(world.control_channel)
+        self._generation += 1
+        # Give the recorder a moment to capture live traffic, then flood.
+        world.sim.schedule(min(0.05, world.duration_s / 4),
+                           self._tick, self._generation)
+
+    def _disarm(self, world: PersonaWorld) -> None:
+        self._generation += 1
+        if self._recorder is not None:
+            self._recorder.detach_all()
+
+    def _tick(self, generation: int) -> None:
+        world = self.world
+        if (generation != self._generation or not self._armed
+                or world.sim.now >= self.armed_at_s + world.duration_s):
+            return
+        recordings = self._recorder.recordings
+        if recordings:
+            packet = recordings[self._cursor % len(recordings)]
+            self._cursor += 1
+            node = world.net.nodes[world.switch_name]
+            world.sim.schedule(0.0, node.receive, packet.copy(),
+                               DataplaneSwitch.CPU_PORT)
+            self._recorder.stats.injected += 1
+        world.sim.schedule(1.0 / self.spec.rate_hz, self._tick, generation)
+
+    def _stats(self) -> AdversaryStats:
+        if self._recorder is None:
+            return AdversaryStats()
+        return self._recorder.stats
+
+
+class RolloverRacer(Persona):
+    """Replays a recorded write the instant a new local key installs.
+
+    Hooks the data plane's ``on_local_key_installed`` notification and
+    fires a replay burst inside the rollover window — the narrow race
+    where a stale-keyed or stale-sequence message is most plausible.
+    """
+
+    kind = "rollover-racer"
+
+    #: Replays fired per observed key installation.
+    BURST = 4
+
+    def __init__(self, spec: PersonaSpec):
+        super().__init__(spec)
+        self._recorder: Optional[ReplayAttacker] = None
+        self._hook: Optional[Callable] = None
+        self.rollovers_raced = 0
+
+    def _arm(self, world: PersonaWorld) -> None:
+        self._recorder = ReplayAttacker(lambda p: p.has(REG_OP))
+        self._recorder.attach(world.control_channel)
+
+        def on_key_installed(_version: int, _now: float) -> None:
+            if not self._armed:
+                return
+            self.rollovers_raced += 1
+            recordings = self._recorder.recordings
+            node = world.net.nodes[world.switch_name]
+            for packet in recordings[-self.BURST:]:
+                world.sim.schedule(0.0, node.receive, packet.copy(),
+                                   DataplaneSwitch.CPU_PORT)
+                self._recorder.stats.injected += 1
+
+        self._hook = on_key_installed
+        world.dataplane.on_local_key_installed.append(self._hook)
+
+    def _disarm(self, world: PersonaWorld) -> None:
+        if self._recorder is not None:
+            self._recorder.detach_all()
+        if self._hook in world.dataplane.on_local_key_installed:
+            world.dataplane.on_local_key_installed.remove(self._hook)
+
+    def _stats(self) -> AdversaryStats:
+        if self._recorder is None:
+            return AdversaryStats()
+        return self._recorder.stats
+
+    def _extra(self) -> Dict[str, float]:
+        return {"rollovers_raced": float(self.rollovers_raced)}
+
+
+class DigestBruteForcerPersona(Persona):
+    """Forges one write under many guessed digests (§VIII).
+
+    Schedules ``rate_hz * duration_s`` guesses, evenly spaced, at arm
+    time.  Every wrong guess is a digest failure at the data plane —
+    slow, loud, and exactly the detection-rate experiment the paper
+    describes.
+    """
+
+    kind = "digest-bruteforcer"
+
+    def __init__(self, spec: PersonaSpec):
+        super().__init__(spec)
+        self._forcer: Optional[DigestBruteForcer] = None
+
+    def _arm(self, world: PersonaWorld) -> None:
+        self._forcer = DigestBruteForcer(
+            world.net, world.switch_name, world.target_reg_id(), index=0,
+            value=self.spec.xor_mask, seed=self.spec.seed)
+        guesses = max(1, int(self.spec.rate_hz * world.duration_s))
+        self._forcer.attempt(guesses, seq_num=1,
+                             spacing_s=1.0 / self.spec.rate_hz)
+
+    def _disarm(self, world: PersonaWorld) -> None:
+        pass  # all guesses were scheduled inside the armed window
+
+    def _stats(self) -> AdversaryStats:
+        stats = AdversaryStats()
+        if self._forcer is not None:
+            stats.injected = self._forcer.attempts
+        return stats
+
+    def _extra(self) -> Dict[str, float]:
+        return {"attempts": float(self._forcer.attempts
+                                  if self._forcer else 0)}
+
+
+class DosFlooderPersona(Persona):
+    """Floods forged requests to trip the alert rate limiter (§VIII)."""
+
+    kind = "dos-flooder"
+
+    def __init__(self, spec: PersonaSpec):
+        super().__init__(spec)
+        self._flooder: Optional[DosFlooder] = None
+
+    def _arm(self, world: PersonaWorld) -> None:
+        self._flooder = DosFlooder(
+            world.net, world.switch_name, world.target_reg_id(),
+            rate_hz=self.spec.rate_hz, seed=self.spec.seed)
+        self._flooder.start(world.duration_s)
+
+    def _disarm(self, world: PersonaWorld) -> None:
+        if self._flooder is not None:
+            self._flooder.stop()
+
+    def _stats(self) -> AdversaryStats:
+        stats = AdversaryStats()
+        if self._flooder is not None:
+            stats.injected = self._flooder.sent
+        return stats
+
+
+_PERSONA_CLASSES: Dict[str, Type[Persona]] = {
+    cls.kind: cls
+    for cls in (SwitchOsInjector, ProbeMitm, ReplayFlooder, RolloverRacer,
+                DigestBruteForcerPersona, DosFlooderPersona)
+}
+
+assert set(_PERSONA_CLASSES) == set(PERSONA_KINDS)
+
+
+def build_persona(spec: PersonaSpec) -> Persona:
+    """Instantiate the runtime persona for a spec."""
+    spec.validate()
+    return _PERSONA_CLASSES[spec.kind](spec)
+
+
+# ---------------------------------------------------------------------------
+# shared ground truth + wire capture
+# ---------------------------------------------------------------------------
+
+
+class GroundTruthSampler:
+    """Samples a target register straight out of the simulated ASIC.
+
+    The chaos suite's zero-forged-writes invariant, factored out for
+    reuse across the persona matrix: a forged write shows up in these
+    samples even if every counter lied.  ``allowed`` is held by
+    reference, so callers may extend it (e.g. a post-chaos clean write)
+    after sampling starts.
+    """
+
+    def __init__(self, sim, switch, reg_name: str, allowed: Set[int],
+                 index: int = 0, period_s: float = 0.05):
+        self.sim = sim
+        self.allowed = allowed
+        self.index = index
+        self.period_s = period_s
+        self.samples: List[int] = []
+        self._register = switch.registers.get(reg_name)
+        self._until_s = 0.0
+
+    def start(self, until_s: float) -> None:
+        """Begin periodic sampling, running until virtual ``until_s``."""
+        self._until_s = until_s
+        self._sample()
+
+    def _sample(self) -> None:
+        self.samples.append(self._register.read(self.index))
+        if self.sim.now < self._until_s:
+            self.sim.schedule(self.period_s, self._sample)
+
+    def forged(self) -> List[int]:
+        """Every sampled value outside the allowed set."""
+        return [value for value in self.samples
+                if value not in self.allowed]
+
+
+class WireRecorder:
+    """Records the serialized bytes of packets arriving at one switch.
+
+    Wraps the switch node's ``receive`` so injected traffic — which
+    enters via the CPU port and never crosses a tappable channel — is
+    captured too.  Two runs with identical seeds must produce identical
+    ``frames`` lists (the persona byte-determinism contract).
+    """
+
+    def __init__(self, net, switch_name: str, cpu_only: bool = True):
+        self._node = net.nodes[switch_name]
+        self._original = self._node.receive
+        self.cpu_only = cpu_only
+        self.frames: List[bytes] = []
+
+        def recording(packet, ingress_port: int) -> None:
+            if not self.cpu_only or ingress_port == DataplaneSwitch.CPU_PORT:
+                self.frames.append(packet.serialize())
+            self._original(packet, ingress_port)
+
+        self._node.receive = recording
+
+    def restore(self) -> None:
+        self._node.receive = self._original
+
+
+__all__ = [
+    "PERSONA_KINDS",
+    "GroundTruthSampler",
+    "Persona",
+    "PersonaOutcome",
+    "PersonaSpec",
+    "PersonaWorld",
+    "WireRecorder",
+    "build_persona",
+]

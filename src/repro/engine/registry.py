@@ -34,6 +34,7 @@ CATALOG_MODULES = (
     "repro.experiments.fct_inflation",
     "repro.experiments.fleet_scale",
     "repro.experiments.int_manipulation",
+    "repro.experiments.persona_matrix",
     "repro.experiments.store_recovery",
     "repro.runtime.comparison",
     "repro.faults.scenarios",

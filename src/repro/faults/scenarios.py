@@ -370,20 +370,16 @@ class LossyFig17Scenario(ChaosScenario):
         # Ground truth: sample the target register straight out of the
         # simulated ASIC; a forged write would show up here even if every
         # counter lied.
-        samples: List[int] = []
-        chaos_reg = net.switch("s4").registers.get("chaos_reg")
-
-        def sample() -> None:
-            samples.append(chaos_reg.read(0))
-            if sim.now < duration + grace:
-                sim.schedule(0.05, sample)
+        from repro.attacks.personas import GroundTruthSampler
+        sampler = GroundTruthSampler(sim, net.switch("s4"), "chaos_reg",
+                                     allowed)
 
         # KMP churn under loss: periodic rollover of local and port keys.
         controller.kmp.schedule_rollover(1.0)
         sim.schedule(0.0, send_probe)
         sim.schedule(0.05, send_data)
         sim.schedule(0.2 - sim.now, send_write)
-        sim.schedule(0.15 - sim.now, sample)
+        sim.schedule(0.15 - sim.now, sampler.start, duration + grace)
         # Mid-chaos replay burst of the recorded (validly signed) writes.
         sim.schedule(duration / 2, replayer.replay, net, "s4", 8)
         sim.schedule(duration / 2, replayer.replay, net, "s4", 8)
@@ -414,7 +410,8 @@ class LossyFig17Scenario(ChaosScenario):
         total = sum(counts.values()) or 1
         s4_share = counts.get("s4", 0) / total
         delivered = len(h5.received) / (h1.sent_count or 1)
-        forged = [value for value in samples if value not in allowed]
+        samples = sampler.samples
+        forged = sampler.forged()
         kmp = controller.kmp
 
         report.check("bootstrap_completed", bool(bootstrapped))

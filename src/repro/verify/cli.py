@@ -29,6 +29,7 @@ def analyze_entry(entry: VerifyEntry) -> List[Finding]:
     from repro.verify.invariants import analyze_invariants
     from repro.verify.live import analyze_live
     from repro.verify.resources_lint import analyze_resources
+    from repro.verify.surface import analyze_surface
     from repro.verify.taint import analyze_taint
 
     program = entry.program()
@@ -37,6 +38,7 @@ def analyze_entry(entry: VerifyEntry) -> List[Finding]:
     findings.extend(analyze_taint(program))
     findings.extend(analyze_resources(program, reference_pct=reference))
     findings.extend(analyze_invariants(program))
+    findings.extend(analyze_surface(program))
     if entry.build_switch is not None:
         switch = entry.build_switch()
         findings.extend(analyze_live(program, switch,

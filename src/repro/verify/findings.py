@@ -27,6 +27,7 @@ INV004    ERROR     wire-format width inconsistent with core.wire
 INV005    ERROR     constant does not fit the written field width
 LIVE001   ERROR     declared IR diverges from the live switch objects
 LIVE002   ERROR     secret register reachable via the mapping table
+SURF001   WARNING   register write wire-influenced without a keyed digest
 ========  ========  ====================================================
 """
 
@@ -76,6 +77,8 @@ RULES: Dict[str, tuple] = {
                 "declared IR diverges from the live switch objects"),
     "LIVE002": (Severity.ERROR,
                 "secret register reachable via the mapping table"),
+    "SURF001": (Severity.WARNING,
+                "register write wire-influenced without a keyed digest"),
 }
 
 

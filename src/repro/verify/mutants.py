@@ -3,8 +3,9 @@
 A static analyzer that never fires is indistinguishable from one that is
 broken.  This module takes the *real* P4Auth program declaration and
 applies one deliberate violation at a time — a key-to-header leak, a
-budget-busting table, a missing default action, and a smuggled secret
-mapping-table entry — then asserts that the corresponding analyzer
+budget-busting table, a missing default action, an un-keyed verification
+digest, and a smuggled secret mapping-table entry — then asserts that
+the corresponding analyzer
 reports the expected rule id.  ``repro verify --selftest`` runs the
 battery and fails if any mutant slips through.
 """
@@ -17,9 +18,11 @@ from typing import Callable, List, Set
 from repro.verify.ir import (
     EmitPacket,
     FieldRef,
+    HashDigest,
     MetaRef,
     Program,
     RegRead,
+    RegReadModifyWrite,
     RequireValid,
     SetField,
     StageDecl,
@@ -78,6 +81,30 @@ def mutant_missing_default() -> Program:
     return program
 
 
+def mutant_stripped_digest() -> Program:
+    """Un-key the C-DP verification digest (SURF001).
+
+    With ``digest_rx`` no longer keyed, the p4auth header is unguarded
+    and the expected-sequence register becomes writable straight from
+    the wire — the persona-surface rule must flag it.  The l3fwd flow
+    counter (p4auth's one *intentional* SURF001 finding) is stripped
+    first, so the rule fires on this mutant iff the lost guard itself is
+    detected.
+    """
+    program = _p4auth_program()
+    program.name = "p4auth+stripped_digest"
+    program.stages = [
+        StageDecl(stage.name, tuple(
+            replace(op, keyed=False)
+            if isinstance(op, HashDigest) and op.keyed else op
+            for op in stage.ops
+            if not (isinstance(op, RegReadModifyWrite)
+                    and op.register == "flow_stats")))
+        for stage in program.stages
+    ]
+    return program
+
+
 def _smuggled_mapping_switch():
     """Build the live twin, then map a secret register behind the guard.
 
@@ -112,12 +139,14 @@ class MutantResult:
 def _static_rules(program: Program) -> Set[str]:
     from repro.verify.invariants import analyze_invariants
     from repro.verify.resources_lint import analyze_resources
+    from repro.verify.surface import analyze_surface
     from repro.verify.taint import analyze_taint
 
     findings: List[Finding] = []
     findings.extend(analyze_taint(program))
     findings.extend(analyze_resources(program))
     findings.extend(analyze_invariants(program))
+    findings.extend(analyze_surface(program))
     return {f.rule for f in findings}
 
 
@@ -133,6 +162,7 @@ _STATIC_MUTANTS: List = [
     ("key_leak", "TAINT001", mutant_key_leak),
     ("budget_bust", "RES001", mutant_budget_bust),
     ("missing_default", "INV001", mutant_missing_default),
+    ("stripped_digest", "SURF001", mutant_stripped_digest),
 ]
 
 
@@ -157,6 +187,7 @@ __all__ = [
     "mutant_budget_bust",
     "mutant_key_leak",
     "mutant_missing_default",
+    "mutant_stripped_digest",
     "run_selftest",
     "selftest_ok",
 ]

@@ -1,0 +1,138 @@
+"""Persona-reachable surface analysis (SURF001).
+
+The persona matrix (``repro.experiments.persona_matrix``) measures which
+state each attacker persona can reach *dynamically*; this pass answers
+the same question statically: **which register paths can wire input
+influence without crossing a keyed digest?**  Any such path is state an
+in-path or switch-OS persona can steer by crafting packets — exactly the
+pre-P4Auth attack surface of HULA probes (Fig 3), RouteScout latency
+aggregates (Fig 2), NetCache sketches, and Blink next-hop registers.
+
+The analysis is a single forward pass (the pipeline is feed-forward),
+mirroring :mod:`repro.verify.taint` but tracking *wire influence*
+instead of secrecy:
+
+- every header field starts **wire-influenced** (an attacker crafts the
+  packet);
+- a **keyed** ``HashDigest`` whose inputs cover fields of header ``H``
+  guards ``H`` from that point on — downstream reads of its fields are
+  authenticated (P4Auth's Eqn 4 check);  an unkeyed hash merely
+  propagates influence;
+- influence flows through ``SetMeta``/``SetField``/``BinOp`` joins, and
+  through registers (a write with influenced data marks the array,
+  reads propagate it);
+- a ``RegWrite``/``RegReadModifyWrite`` into a non-secret register whose
+  **value or index** is wire-influenced raises ``SURF001`` (WARNING) —
+  one finding per register, first occurrence wins.
+
+Secret registers are exempt: they are key-store state the data plane
+itself manages, not persona-steerable control state (their protection is
+the taint pass's job).  SURF001 is a WARNING, not an ERROR: systems
+*legitimately* keep wire-driven state (that is what an in-network
+control system is); the finding enumerates the surface the persona
+matrix must cover and P4Auth's C-DP/DP-DP checks must front-stop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.verify.findings import Finding, make_finding
+from repro.verify.ir import (
+    BinOp,
+    Const,
+    Expr,
+    FieldRef,
+    HashDigest,
+    KdfDerive,
+    MetaRef,
+    Program,
+    RegRead,
+    RegReadModifyWrite,
+    RegWrite,
+    SetField,
+    SetMeta,
+    field_refs,
+)
+
+
+class SurfaceState:
+    """Wire-influence environment threaded through the ops."""
+
+    def __init__(self, program: Program) -> None:
+        self.meta: Dict[str, bool] = {}
+        #: Per-field overrides; unset header fields default to influenced.
+        self.fields: Dict[Tuple[str, str], bool] = {}
+        #: Headers covered by a keyed digest so far.
+        self.guarded: Set[str] = set()
+        #: Register arrays whose content wire input has influenced.
+        self.registers: Dict[str, bool] = {
+            r.name: False for r in program.registers}
+        self.secret: Set[str] = {r.name for r in program.registers
+                                 if r.secret}
+
+    def eval(self, expr: Expr) -> bool:
+        if isinstance(expr, Const):
+            return False
+        if isinstance(expr, FieldRef):
+            if expr.header in self.guarded:
+                return False
+            return self.fields.get((expr.header, expr.field), True)
+        if isinstance(expr, MetaRef):
+            return self.meta.get(expr.name, False)
+        if isinstance(expr, BinOp):
+            return any(self.eval(arg) for arg in expr.args)
+        raise TypeError(f"unknown expr {expr!r}")
+
+
+def analyze_surface(program: Program) -> List[Finding]:
+    """Flag registers reachable from the wire without a keyed digest."""
+    findings: List[Finding] = []
+    state = SurfaceState(program)
+    flagged: Set[str] = set()
+
+    for stage_name, op_index, op in program.ops():
+        if isinstance(op, SetMeta):
+            state.meta[op.dst] = state.eval(op.expr)
+        elif isinstance(op, SetField):
+            state.fields[(op.header, op.field)] = state.eval(op.expr)
+        elif isinstance(op, RegRead):
+            state.meta[op.dst] = state.registers.get(op.register, False)
+        elif isinstance(op, HashDigest):
+            if op.keyed:
+                # The authentication boundary: every header this digest
+                # covers is verified downstream of it.
+                state.guarded.update(ref.header for inp in op.inputs
+                                     for ref in field_refs(inp))
+                state.meta[op.dst] = False
+            else:
+                state.meta[op.dst] = any(state.eval(inp)
+                                         for inp in op.inputs)
+        elif isinstance(op, KdfDerive):
+            state.meta[op.dst] = False
+        elif isinstance(op, (RegWrite, RegReadModifyWrite)):
+            if op.register in state.secret:
+                continue
+            via = [label for label, expr in
+                   (("value", op.expr), ("index", op.index))
+                   if state.eval(expr)]
+            if via and op.register not in flagged:
+                flagged.add(op.register)
+                findings.append(make_finding(
+                    "SURF001", program.name,
+                    f"register {op.register!r} {'/'.join(via)} is "
+                    f"wire-influenced with no keyed digest on the path "
+                    f"(persona-steerable surface)",
+                    stage=stage_name, op_index=op_index,
+                    subject=op.register))
+            if state.eval(op.expr):
+                state.registers[op.register] = True
+            if isinstance(op, RegReadModifyWrite):
+                state.meta[op.dst] = (state.registers.get(op.register, False)
+                                      or state.eval(op.expr))
+        # RequireValid / ApplyTable / Emit / export ops: no surface effect.
+
+    return findings
+
+
+__all__ = ["SurfaceState", "analyze_surface"]

@@ -1,0 +1,92 @@
+"""Adversary tap lifecycle: attach idempotence and detach symmetry.
+
+Regressions for the duplicate-tap bug: ``Link.add_tap`` blindly appends,
+so a double ``attach`` used to install two taps — double-counting stats
+and leaving one tap behind after ``detach_all`` (``remove_tap`` removes
+a single entry).
+"""
+
+from repro.attacks.base import Eavesdropper
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import DataplaneSwitch
+from repro.net.network import Network
+from repro.net.simulator import EventSimulator
+
+
+def _linked_pair():
+    sim = EventSimulator()
+    net = Network(sim)
+    for name in ("a", "b"):
+        net.add_switch(DataplaneSwitch(name, num_ports=2))
+    link = net.connect("a", 1, "b", 1)
+    return sim, net, link
+
+
+def _send_one(link):
+    """Run one packet through the link's tap path."""
+    link.transit(Packet(payload=b"x"), "a->b")
+
+
+class TestAttachIdempotence:
+    def test_double_attach_installs_one_tap(self):
+        _sim, _net, link = _linked_pair()
+        adversary = Eavesdropper()
+        adversary.attach(link)
+        adversary.attach(link)
+        assert len(link.taps) == 1
+
+    def test_double_attach_counts_each_packet_once(self):
+        sim, net, link = _linked_pair()
+        adversary = Eavesdropper()
+        adversary.attach(link).attach(link)
+        _send_one(link)
+        assert adversary.stats.seen == 1
+        assert adversary.stats.recorded == 1
+
+    def test_detach_all_after_double_attach_leaves_channel_clean(self):
+        sim, net, link = _linked_pair()
+        adversary = Eavesdropper()
+        adversary.attach(link)
+        adversary.attach(link)
+        adversary.detach_all()
+        assert link.taps == []
+        _send_one(link)
+        assert adversary.stats.seen == 0
+
+    def test_attach_returns_self_for_chaining(self):
+        _sim, _net, link = _linked_pair()
+        adversary = Eavesdropper()
+        assert adversary.attach(link) is adversary
+
+
+class TestDetachSymmetry:
+    def test_detach_single_channel(self):
+        sim, net, link = _linked_pair()
+        adversary = Eavesdropper()
+        adversary.attach(link)
+        adversary.detach(link)
+        assert link.taps == []
+        _send_one(link)
+        assert adversary.stats.seen == 0
+
+    def test_detach_unattached_channel_is_noop(self):
+        _sim, _net, link = _linked_pair()
+        adversary = Eavesdropper()
+        adversary.detach(link)  # never attached: must not raise
+        assert link.taps == []
+
+    def test_detach_leaves_other_channels_attached(self):
+        sim = EventSimulator()
+        net = Network(sim)
+        for name in ("a", "b", "c"):
+            net.add_switch(DataplaneSwitch(name, num_ports=3))
+        link_ab = net.connect("a", 1, "b", 1)
+        link_ac = net.connect("a", 2, "c", 1)
+        adversary = Eavesdropper()
+        adversary.attach(link_ab)
+        adversary.attach(link_ac)
+        adversary.detach(link_ab)
+        assert link_ab.taps == []
+        assert len(link_ac.taps) == 1
+        adversary.detach_all()
+        assert link_ac.taps == []

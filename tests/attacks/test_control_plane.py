@@ -154,3 +154,54 @@ class TestDosFlooder:
         flooder.start(duration_s=0.2)
         dep.run(0.5)
         assert dep.dataplanes["s1"].stats.regops_served == 0
+
+
+class TestDosFlooderLifecycle:
+    """Regressions for the timer-chaining / pre-start lifecycle bugs."""
+
+    def test_double_start_does_not_double_the_rate(self, single_switch):
+        # Pre-fix, a second start() chained an independent _fire loop,
+        # doubling the effective rate; post-fix it only extends the
+        # deadline, so sent stays bounded by rate * duration.
+        dep = single_switch
+        reg_id = dep.switch("s1").registers.id_of("demo")
+        flooder = DosFlooder(dep.net, "s1", reg_id, rate_hz=100.0)
+        flooder.start(duration_s=0.5)
+        flooder.start(duration_s=0.5)
+        dep.run(1.0)
+        assert flooder.sent <= 100.0 * 0.5 + 2
+
+    def test_restart_extends_the_deadline(self, single_switch):
+        dep = single_switch
+        reg_id = dep.switch("s1").registers.id_of("demo")
+        flooder = DosFlooder(dep.net, "s1", reg_id, rate_hz=100.0)
+        flooder.start(duration_s=0.2)
+        dep.run(0.1)
+        flooder.start(duration_s=0.4)  # mid-flood: extend, don't chain
+        dep.run(1.0)
+        # One loop over the extended 0.5s window: ~50 sends, never ~100.
+        assert 40 <= flooder.sent <= 60
+
+    def test_stop_before_any_start_is_safe(self, single_switch):
+        # Pre-fix: AttributeError (_deadline only created in start()).
+        dep = single_switch
+        reg_id = dep.switch("s1").registers.id_of("demo")
+        flooder = DosFlooder(dep.net, "s1", reg_id, rate_hz=100.0)
+        flooder.stop()
+        flooder._fire()
+        dep.run(0.2)
+        assert flooder.sent == 0
+
+    def test_stop_then_restart_leaves_one_timer_loop(self, single_switch):
+        dep = single_switch
+        reg_id = dep.switch("s1").registers.id_of("demo")
+        flooder = DosFlooder(dep.net, "s1", reg_id, rate_hz=100.0)
+        flooder.start(duration_s=1.0)
+        dep.run(0.1)
+        flooder.stop()
+        # Restart before the stopped loop's pending timer fires: the
+        # stale-generation timer must die instead of resurrecting a
+        # second chain.
+        flooder.start(duration_s=0.4)
+        dep.run(1.0)
+        assert flooder.sent <= 100.0 * 0.5 + 2

@@ -1,0 +1,78 @@
+"""The persona_matrix experiment: registration, determinism, invariants."""
+
+import pytest
+
+from repro.attacks.personas import PERSONA_KINDS
+from repro.engine.registry import get_spec
+from repro.experiments.persona_matrix import (
+    SYSTEMS,
+    WATCHED_SIGNALS,
+    run_persona_trial,
+)
+
+_CELL = dict(attack_rate_hz=400.0, duration_s=1.0, load_hz=60.0, seed=7)
+
+
+class TestSpecRegistration:
+    def test_registered_with_full_grid(self):
+        spec = get_spec("persona_matrix")
+        assert set(spec.grid["persona"]) == set(PERSONA_KINDS)
+        assert set(spec.grid["system"]) == set(SYSTEMS)
+        assert len(PERSONA_KINDS) >= 4 and len(SYSTEMS) >= 3
+
+    def test_short_keeps_the_whole_matrix(self):
+        """--short shrinks the rate axis, never the persona×system cover."""
+        plans = get_spec("persona_matrix").expand(short=True)
+        cells = {(p.params["persona"], p.params["system"]) for p in plans}
+        assert len(cells) == len(PERSONA_KINDS) * len(SYSTEMS)
+        rates = {p.params["attack_rate_hz"] for p in plans}
+        assert len(rates) == 2  # below and above the DoS alert threshold
+
+    def test_fault_plan_hook_declares_one_persona(self):
+        spec = get_spec("persona_matrix")
+        plan = spec.fault_plan(
+            {"persona": "dos-flooder", "attack_rate_hz": 100.0}, seed=3)
+        plan.validate()
+        assert len(plan.personas) == 1
+        assert plan.personas[0].kind == "dos-flooder"
+        assert plan.personas[0].seed == 3
+
+
+class TestTrialInvariants:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError, match="system"):
+            run_persona_trial("dos-flooder", "bgp", **_CELL)
+
+    def test_cell_is_deterministic_and_safe(self):
+        """Same cell twice: identical result, no forged write, detected."""
+        first = run_persona_trial("switch-os-injector", "hula", **_CELL)
+        second = run_persona_trial("switch-os-injector", "hula", **_CELL)
+        assert first == second
+        assert first["detected"] is True
+        assert first["detection_signal"] in WATCHED_SIGNALS
+        assert first["detection_latency_s"] >= 0.0
+        assert first["forged_writes"] == 0
+        assert first["ground_truth_samples"] > 0
+        assert first["clean_write_ok"] is True
+        assert first["workload_packets"] > 0
+
+    def test_dos_threshold_curve_brackets_the_limiter(self):
+        """§VIII rate limiter: engaged at 400 Hz, quiet at 40 Hz."""
+        low = run_persona_trial("dos-flooder", "routescout",
+                                **{**_CELL, "attack_rate_hz": 40.0})
+        high = run_persona_trial("dos-flooder", "routescout", **_CELL)
+        assert low["detected"] and high["detected"]
+        assert not low["mitigation_engaged"]
+        assert high["mitigation_engaged"]
+        assert low["forged_writes"] == high["forged_writes"] == 0
+
+    def test_probe_mitm_surface_asymmetry(self):
+        """DP-DP MitM reaches HULA's probe path but not NetCache."""
+        hula = run_persona_trial("probe-mitm", "hula", **_CELL)
+        netcache = run_persona_trial("probe-mitm", "netcache", **_CELL)
+        assert hula["detected"] is True
+        assert hula["detection_signal"] == "digest_fail_dpdp"
+        assert hula["persona_outcome"]["surface_reachable"] == 1.0
+        assert netcache["detected"] is False
+        assert netcache["persona_outcome"]["surface_reachable"] == 0.0
+        assert netcache["forged_writes"] == 0

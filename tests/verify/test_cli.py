@@ -14,6 +14,24 @@ EXPECTED_PROGRAMS = {
     "flowradar", "netwarden", "inaggr", "int", "p4auth",
 }
 
+#: The persona-steerable surface SURF001 (WARNING) pins per program —
+#: the register paths wire input reaches without a keyed digest.  Every
+#: other finding class must stay absent.
+EXPECTED_SURFACE = {
+    "l3fwd": {"flow_stats"},
+    "hula": {"hula_best_hop", "hula_last_update", "hula_min_util"},
+    "routescout": {"rs_lat_cnt", "rs_lat_sum"},
+    "blink": {"blink_active_nh", "blink_backup_nh", "blink_loss_streak"},
+    "silkroad": set(),
+    "netcache": {"nc_sketch_row0", "nc_sketch_row1"},
+    "flowradar": set(),
+    "netwarden": {"nw_ipd_count", "nw_ipd_sq_sum", "nw_ipd_sum",
+                  "nw_last_arrival_us"},
+    "inaggr": {"agg_bitmap", "agg_count", "agg_sum"},
+    "int": set(),
+    "p4auth": {"flow_stats"},
+}
+
 
 class TestRegistry:
     def test_all_eleven_programs_registered(self):
@@ -39,16 +57,27 @@ class TestRegistry:
 
 
 class TestVerifyAll:
-    def test_every_registered_program_is_clean(self):
+    def test_every_registered_program_is_error_free(self):
         for entry in all_entries():
             findings = cli.analyze_entry(entry)
-            assert findings == [], (
-                f"{entry.name}: " + "; ".join(f.render() for f in findings))
+            errors = [f for f in findings if f.severity.name == "ERROR"]
+            assert errors == [], (
+                f"{entry.name}: " + "; ".join(f.render() for f in errors))
+
+    def test_surface_findings_pin_the_persona_surface(self):
+        for entry in all_entries():
+            findings = cli.analyze_entry(entry)
+            surface = {f.subject for f in findings if f.rule == "SURF001"}
+            assert surface == EXPECTED_SURFACE[entry.name], (
+                f"{entry.name}: persona surface changed")
+            others = [f for f in findings if f.rule != "SURF001"]
+            assert others == [], (
+                f"{entry.name}: " + "; ".join(f.render() for f in others))
 
     def test_cli_all_exits_zero(self, capsys):
         assert main(["verify", "--all"]) == 0
         out = capsys.readouterr().out
-        assert "clean" in out
+        assert "0 error(s)" in out
         assert "11 program(s)" in out
 
     def test_cli_default_is_all(self, capsys):
@@ -63,7 +92,9 @@ class TestVerifyAll:
         assert main(["verify", "p4auth", "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["ok"] is True
-        assert doc["findings"] == []
+        assert doc["errors"] == 0
+        assert [f["rule"] for f in doc["findings"]] == ["SURF001"]
+        assert doc["findings"][0]["subject"] == "flow_stats"
 
 
 class TestExitCodes:
@@ -104,4 +135,4 @@ class TestAuxModes:
         assert main(["verify", "--selftest", "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["ok"] is True
-        assert len(doc["mutants"]) == 4
+        assert len(doc["mutants"]) == 5
